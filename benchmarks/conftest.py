@@ -1,0 +1,18 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark runs one experiment from
+:mod:`repro.bench.experiments` under ``pytest-benchmark`` (real wall-clock
+of the simulation run), prints the paper-style table of *simulated*
+results, and asserts the expected shape (who wins, direction of trends).
+See DESIGN.md §3–4 for the methodology and EXPERIMENTS.md for recorded
+outputs.
+"""
+
+from __future__ import annotations
+
+
+def run_experiment(benchmark, fn, *args, **kwargs):
+    """Execute an experiment once under the benchmark timer and show it."""
+    table = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    table.show()
+    return table

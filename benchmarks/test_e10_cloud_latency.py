@@ -1,0 +1,24 @@
+"""E10 — sensitivity to cloud RTT.
+
+Expected shape: every cloud-touching system slows as RTT grows, but
+RocksMash degrades most gracefully (the local cache absorbs most reads),
+staying above both cloud baselines at every RTT.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import e10_cloud_latency
+
+
+def test_e10_cloud_latency(benchmark):
+    table = run_experiment(benchmark, e10_cloud_latency)
+    mash = table.column("rocksmash")
+    cloud = table.column("cloud-only")
+    rc = table.column("rocksdb-cloud")
+    # All three degrade monotonically with RTT.
+    assert mash == sorted(mash, reverse=True)
+    assert cloud == sorted(cloud, reverse=True)
+    # RocksMash on top at every point.
+    assert all(m > c for m, c in zip(mash, cloud))
+    assert all(m >= r for m, r in zip(mash, rc))
+    # Relative degradation: cloud-only collapses harder than RocksMash.
+    assert cloud[0] / cloud[-1] > mash[0] / mash[-1]

@@ -1,0 +1,21 @@
+"""E11 — sensitivity to local capacity.
+
+Expected shape: throughput grows monotonically with the local SSTable
+budget (more of the tree served at SSD speed), with the placement manager
+keeping local bytes at or under the budget at every point.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import e11_local_capacity
+
+
+def test_e11_local_capacity(benchmark):
+    table = run_experiment(benchmark, e11_local_capacity)
+    kops = table.column("Kops/s")
+    budgets = table.column("budget_bytes")
+    local = table.column("local_table_bytes")
+    # More local budget never hurts; the extremes differ clearly.
+    assert all(b >= a * 0.95 for a, b in zip(kops, kops[1:]))
+    assert kops[-1] > kops[0] * 1.5
+    # Placement respects the budget.
+    assert all(used <= budget for used, budget in zip(local, budgets))

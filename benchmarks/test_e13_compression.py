@@ -1,0 +1,20 @@
+"""E13 (extension) — zlib data-block compression ablation.
+
+Expected shape: compression shrinks cloud occupancy and per-miss egress by
+the data's compressibility factor, which at fixed bandwidth also raises
+simulated read/write throughput for compressible values.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import e13_compression
+
+
+def test_e13_compression(benchmark):
+    table = run_experiment(benchmark, e13_compression)
+    raw = table.row_by("compression", "none")
+    zipped = table.row_by("compression", "zlib")
+    idx = table.headers.index
+    assert zipped[idx("cloud_bytes")] < raw[idx("cloud_bytes")] / 5
+    assert zipped[idx("egress_bytes")] < raw[idx("egress_bytes")] / 5
+    assert zipped[idx("read_Kops/s")] > raw[idx("read_Kops/s")]
+    assert zipped[idx("write_Kops/s")] > raw[idx("write_Kops/s")]

@@ -1,0 +1,21 @@
+"""E14 (extension) — batched cold reads via multi_get.
+
+Expected shape: per-key throughput grows with batch size as cloud round
+trips overlap, saturating at the configured wave parallelism (8).
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import e14_multiget
+
+
+def test_e14_multiget(benchmark):
+    table = run_experiment(benchmark, e14_multiget)
+    speedups = table.column("speedup_vs_batch1")
+    batches = table.column("batch")
+    # Monotone non-decreasing up to the parallelism cap.
+    capped = [s for b, s in zip(batches, speedups) if b <= 8]
+    assert all(b >= a * 0.98 for a, b in zip(capped, capped[1:]))
+    # Meaningful overlap at the cap; saturation beyond it.
+    at8 = dict(zip(batches, speedups))[8]
+    assert at8 > 2.5
+    assert max(speedups) < at8 * 1.25

@@ -1,0 +1,22 @@
+"""E15 (extension) — reliability under transient cloud faults.
+
+Expected shape: correctness is absolute (zero wrong or missing answers at
+every injected error rate — retries with backoff hide the faults);
+throughput degrades gracefully as the rate climbs.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import e15_fault_tolerance
+
+
+def test_e15_fault_tolerance(benchmark):
+    table = run_experiment(benchmark, e15_fault_tolerance)
+    wrong = table.column("wrong_or_missing_answers")
+    assert all(w == 0 for w in wrong)  # the reliability claim
+    kops = table.column("Kops/s")
+    # Graceful degradation: highest error rate is slowest, but still
+    # within ~2x of fault-free.
+    assert kops[-1] < kops[0]
+    assert kops[-1] > kops[0] / 3
+    retries = table.column("retries")
+    assert retries[-1] > retries[0]

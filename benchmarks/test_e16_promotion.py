@@ -1,0 +1,21 @@
+"""E16 (extension) — hot-file promotion (up-tiering) ablation.
+
+Expected shape: when a concentrated hot range outgrows the persistent
+cache, promoting its tables back to the local device turns every hot read
+into a local read — an order-of-magnitude throughput jump — while
+respecting the local byte budget.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import e16_promotion
+
+
+def test_e16_promotion(benchmark):
+    table = run_experiment(benchmark, e16_promotion)
+    off = table.row_by("promotion", "off")
+    on = table.row_by("promotion", "on")
+    idx = table.headers.index
+    assert on[idx("promotions")] > 0
+    assert off[idx("promotions")] == 0
+    assert on[idx("Kops/s")] > off[idx("Kops/s")] * 5
+    assert on[idx("local_table_bytes")] > off[idx("local_table_bytes")]

@@ -1,0 +1,23 @@
+"""E17 (extension) — leveled vs universal compaction on the hybrid store.
+
+Expected shape: on hybrid storage the tiered style is a big win for
+overwrite-heavy ingest — young runs stay on the local device, so both
+compaction rewrites *and cloud uploads* shrink dramatically. (Leveled's
+classic read advantage — fewer runs — needs run counts beyond this scale
+to matter; the caches cover the difference here.)
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import e17_compaction_style
+
+
+def test_e17_compaction_style(benchmark):
+    table = run_experiment(benchmark, e17_compaction_style)
+    leveled = table.row_by("style", "leveled")
+    universal = table.row_by("style", "universal")
+    idx = table.headers.index
+    assert universal[idx("ingest_Kops/s")] > leveled[idx("ingest_Kops/s")] * 2
+    assert universal[idx("cloud_put_bytes")] < leveled[idx("cloud_put_bytes")] / 5
+    assert universal[idx("compaction_bytes_written")] < leveled[idx("compaction_bytes_written")] * 1.1
+    # Reads must remain at least competitive (caches + few runs).
+    assert universal[idx("read_Kops/s")] > leveled[idx("read_Kops/s")] * 0.5

@@ -1,0 +1,23 @@
+"""E1 — write microbenchmarks (db_bench fillseq / fillrandom).
+
+Expected shape: writes are WAL-bound, so local-only ≫ RocksMash >
+rocksdb-cloud ≫ cloud-only (the cloud WAL pays a round trip and re-uploads
+the log on every sync; rocksdb-cloud additionally uploads every flushed
+SSTable synchronously).
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import e1_write_micro
+
+
+def test_e1_write_micro(benchmark):
+    table = run_experiment(benchmark, e1_write_micro)
+    for column in ("fillseq", "fillrandom"):
+        local = table.cell("local-only", column)
+        cloud = table.cell("cloud-only", column)
+        rc = table.cell("rocksdb-cloud", column)
+        mash = table.cell("rocksmash", column)
+        assert local > mash > rc > cloud, column
+        # Hybrid writes are within an order of magnitude or two of local,
+        # while pure-cloud writes collapse.
+        assert local / cloud > 50, column

@@ -1,0 +1,28 @@
+"""E3 — YCSB A–F throughput (the paper's headline comparison).
+
+Expected shape: for every workload, local-only > RocksMash >
+max(rocksdb-cloud, cloud-only); on read-heavy mixes (B, C) RocksMash beats
+the rocksdb-cloud-like hybrid by well over the paper's 1.7× (our cache
+budgets are a smaller DB fraction than the authors', which widens the gap —
+the *direction and ordering* are the reproduction target, see
+EXPERIMENTS.md).
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import e3_ycsb
+
+
+def test_e3_ycsb(benchmark):
+    table = run_experiment(benchmark, e3_ycsb)
+    for workload in "ABCDEF":
+        local = table.cell("local-only", workload)
+        cloud = table.cell("cloud-only", workload)
+        rc = table.cell("rocksdb-cloud", workload)
+        mash = table.cell("rocksmash", workload)
+        assert local > mash, workload
+        assert mash > rc, workload
+        assert mash > cloud, workload
+    # The headline claim: a clear win over the state-of-the-art hybrid on
+    # read-heavy workloads (paper: up to 1.7x; we exceed it, same direction).
+    assert table.cell("rocksmash", "B") / table.cell("rocksdb-cloud", "B") > 1.7
+    assert table.cell("rocksmash", "C") / table.cell("rocksdb-cloud", "C") > 1.7

@@ -1,0 +1,26 @@
+"""E4 — point-read latency percentiles.
+
+Expected shape: local-only is flat and fast at every percentile.
+RocksMash's median is local-speed (cache hits) with a tail set by cloud
+round trips; cloud-only's *median* is already a round trip; rocksdb-cloud
+has a local median but a much heavier tail (whole-file downloads on
+misses).
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import e4_latency
+
+
+def test_e4_latency(benchmark):
+    table = run_experiment(benchmark, e4_latency)
+    # Medians: rocksmash serves the typical read locally; cloud-only cannot.
+    assert table.cell("rocksmash", "p50") < table.cell("cloud-only", "p50") / 10
+    # Tails: rocksmash's p99 is at most ~one cloud round trip;
+    # rocksdb-cloud's p99 includes whole-file fills and is far worse.
+    assert table.cell("rocksmash", "p99") < table.cell("rocksdb-cloud", "p99")
+    # Means follow the same ordering as throughput.
+    assert (
+        table.cell("local-only", "mean")
+        < table.cell("rocksmash", "mean")
+        < table.cell("cloud-only", "mean")
+    )

@@ -1,0 +1,19 @@
+"""E5 — metadata space overhead.
+
+Expected shape: RocksMash's packed pinned index+filter region costs a few
+percent of the cloud-resident bytes; the whole-file-caching baseline needs
+~100% (it keeps entire tables locally to have their metadata local).
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import e5_metadata_overhead
+
+
+def test_e5_metadata_overhead(benchmark):
+    table = run_experiment(benchmark, e5_metadata_overhead)
+    mash_pct = table.cell("rocksmash", "overhead_%")
+    rc_pct = table.cell("rocksdb-cloud", "overhead_%")
+    assert mash_pct < 15.0  # metadata is a small fraction of data
+    assert rc_pct > 80.0  # whole files ≈ full duplication
+    assert rc_pct / mash_pct > 5.0
+    assert table.cell("rocksmash", "local_metadata_bytes") > 0

@@ -1,0 +1,35 @@
+"""E6 — crash-recovery time: WAL size sweep and shard-count sweep.
+
+Expected shape: serial recovery grows linearly with WAL records; the
+sharded extended WAL recovers in ~1/shards of the replay time (plus fixed
+open costs), so speedup grows with both WAL size and shard count, with
+diminishing returns once fixed costs dominate.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import e6_recovery, e6_recovery_shards
+
+
+def test_e6a_recovery_vs_wal_size(benchmark):
+    table = run_experiment(benchmark, e6_recovery)
+    serial = table.column("serial_wal")
+    sharded = table.column("xwal_4_shards")
+    speedups = table.column("speedup")
+    # Serial recovery time grows with WAL size.
+    assert serial == sorted(serial)
+    # Sharding always helps, and helps more on bigger WALs.
+    assert all(x > 1.0 for x in speedups[1:])
+    assert speedups[-1] > speedups[0]
+    assert speedups[-1] > 2.0
+    assert all(s < t for s, t in zip(sharded, serial))
+
+
+def test_e6b_recovery_vs_shards(benchmark):
+    table = run_experiment(benchmark, e6_recovery_shards)
+    times = table.column("recovery_ms")
+    # Monotone improvement with shard count.
+    assert times == sorted(times, reverse=True)
+    # Near-linear early scaling, diminishing later.
+    speedups = table.column("speedup_vs_serial")
+    assert speedups[2] > 2.5  # 4 shards
+    assert speedups[-1] > 4.0  # 16 shards

@@ -1,0 +1,23 @@
+"""E7 — cost-effectiveness (YCSB-B).
+
+Expected shape: local-only pays full SSD price for capacity; cloud-only is
+cheapest on storage but slowest; the hybrids sit between. Among systems
+that offload the bulk to the cloud, RocksMash has the best
+performance-per-dollar.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import e7_cost
+
+
+def test_e7_cost(benchmark):
+    table = run_experiment(benchmark, e7_cost)
+    # Storage at 1 TB: local-only is the most expensive, cloud-only cheapest.
+    storage = {
+        row[0]: row[table.headers.index("storage_$/mo@1TB")] for row in table.rows
+    }
+    assert storage["local-only"] > storage["rocksmash"] > storage["cloud-only"]
+    assert storage["local-only"] > storage["rocksdb-cloud"]
+    # Among cloud-offloading systems, RocksMash wins on perf per dollar.
+    perf = {row[0]: row[table.headers.index("Kops/s_per_$")] for row in table.rows}
+    assert perf["rocksmash"] > perf["rocksdb-cloud"] > perf["cloud-only"]

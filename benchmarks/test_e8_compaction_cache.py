@@ -1,0 +1,24 @@
+"""E8 — persistent-cache hit ratio across compaction churn.
+
+Expected shape: with compaction-aware layouts (heat inheritance +
+pre-warming), the hit ratio stays high through every write-burst phase;
+with naive invalidation each compaction empties part of the cache and the
+hit ratio is persistently lower.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import e8_compaction_cache
+
+
+def test_e8_compaction_cache(benchmark):
+    table = run_experiment(benchmark, e8_compaction_cache)
+    aware = table.column("aware")
+    naive = table.column("naive")
+    phases = len(aware)
+    # Aware wins on average by a clear margin...
+    assert sum(aware) / phases > sum(naive) / phases + 0.1
+    # ...and in (nearly) every individual phase.
+    wins = sum(a > n for a, n in zip(aware, naive))
+    assert wins >= phases - 1
+    # Aware keeps the cache consistently warm.
+    assert min(aware) > 0.6

@@ -1,0 +1,23 @@
+"""E9 — scan throughput vs scan length.
+
+Expected shape: local-only dominates. RocksMash wins short scans (pinned
+metadata + cached hot blocks + readahead once a run is detected); for very
+long scans the whole-file cache of rocksdb-cloud amortizes best and a
+crossover appears — both hybrids stay far above cloud-only.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import e9_scan
+
+
+def test_e9_scan(benchmark):
+    table = run_experiment(benchmark, e9_scan)
+    for column in ("len=10", "len=100", "len=500"):
+        assert table.cell("local-only", column) > table.cell("rocksmash", column)
+        assert table.cell("rocksmash", column) > table.cell("cloud-only", column)
+    # Short scans: RocksMash clearly ahead of the whole-file baseline.
+    assert table.cell("rocksmash", "len=10") > 2 * table.cell("rocksdb-cloud", "len=10")
+    # Long scans: the two hybrids converge (crossover region) — within 3x.
+    long_mash = table.cell("rocksmash", "len=500")
+    long_rc = table.cell("rocksdb-cloud", "len=500")
+    assert max(long_mash, long_rc) / min(long_mash, long_rc) < 3.0

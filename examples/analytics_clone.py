@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Zero-copy analytics clones from cloud checkpoints.
+
+The operational payoff of keeping the LSM bulk in an object store: a
+production store is checkpointed in place (server-side copies, no egress),
+and any number of independent read/write clones are materialized from the
+checkpoint on "other machines" — here, fresh local devices sharing the same
+simulated cloud. The production store keeps serving writes throughout, and
+clones never see them.
+
+Run:  python examples/analytics_clone.py
+"""
+
+from repro.mash.checkpoint import (
+    create_checkpoint,
+    delete_checkpoint,
+    list_checkpoints,
+    restore_checkpoint,
+)
+from repro.mash.store import RocksMashStore, StoreConfig
+
+
+def main() -> None:
+    prod = RocksMashStore.create(StoreConfig().small())
+    print("loading production store with 4000 orders...")
+    for i in range(4000):
+        prod.put(f"order:{i:08d}".encode(), f"status=paid;amount={i % 500}".encode())
+
+    info = create_checkpoint(prod, "eod-snapshot")
+    print(
+        f"checkpoint 'eod-snapshot': {info.num_tables} tables, "
+        f"{info.total_bytes:,} bytes total, only {info.uploaded_bytes:,} uploaded "
+        f"(rest were server-side copies)"
+    )
+    print("checkpoints in cloud:", list_checkpoints(prod.cloud_store))
+
+    # Production keeps mutating after the snapshot.
+    prod.put(b"order:00000000", b"status=REFUNDED")
+    prod.delete(b"order:00000001")
+
+    # Two independent analytics clones on fresh "machines".
+    clone_a = restore_checkpoint(prod.cloud_store, "eod-snapshot", prod.config)
+    clone_b = restore_checkpoint(prod.cloud_store, "eod-snapshot", prod.config)
+
+    # Clones see the point-in-time state...
+    assert clone_a.get(b"order:00000000") == b"status=paid;amount=0"
+    assert clone_a.get(b"order:00000001") is not None
+    # ...and can diverge freely without touching production.
+    clone_a.put(b"analysis:total", b"123456")
+    clone_b.put(b"analysis:total", b"999999")
+    assert prod.get(b"analysis:total") is None
+    assert clone_a.get(b"analysis:total") != clone_b.get(b"analysis:total")
+
+    refunds_a = sum(
+        1 for _, v in clone_a.scan(b"order:", b"order:\xff") if b"REFUNDED" in v
+    )
+    print(f"clone A analysis: {refunds_a} refunded orders at snapshot time (expected 0)")
+    print(f"production sees its own post-snapshot refund: "
+          f"{prod.get(b'order:00000000').decode()}")
+
+    removed = delete_checkpoint(prod.cloud_store, "eod-snapshot")
+    print(f"checkpoint deleted ({removed} objects); clones keep working:")
+    assert clone_a.get(b"order:00002000") is not None
+    print("analytics clone demo OK")
+
+
+if __name__ == "__main__":
+    main()

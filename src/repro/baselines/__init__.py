@@ -1,0 +1,24 @@
+"""Comparison systems: local-only, cloud-only, and rocksdb-cloud-like.
+
+All three expose the same facade as
+:class:`~repro.mash.store.RocksMashStore`, so the benchmark harness treats
+the four systems uniformly.
+"""
+
+from repro.baselines.cloud_only import CloudOnlyConfig, CloudOnlyStore
+from repro.baselines.local_only import LocalOnlyConfig, LocalOnlyStore
+from repro.baselines.rocksdb_cloud import (
+    RocksDBCloudConfig,
+    RocksDBCloudStore,
+    WholeFileCache,
+)
+
+__all__ = [
+    "CloudOnlyConfig",
+    "CloudOnlyStore",
+    "LocalOnlyConfig",
+    "LocalOnlyStore",
+    "RocksDBCloudConfig",
+    "RocksDBCloudStore",
+    "WholeFileCache",
+]

@@ -1,0 +1,14 @@
+"""Experiment harness regenerating the paper's tables and figures."""
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.harness import SYSTEMS, HarnessKnobs, engine_options, make_store
+from repro.bench.report import Table
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "HarnessKnobs",
+    "SYSTEMS",
+    "Table",
+    "engine_options",
+    "make_store",
+]

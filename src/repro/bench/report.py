@@ -1,0 +1,72 @@
+"""Plain-text tables and series for the experiment reports.
+
+Every benchmark prints its paper-style table through :class:`Table`, so
+EXPERIMENTS.md and the bench output share one format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled, aligned text table with footnotes."""
+
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        cells = [[_fmt(c) for c in row] for row in self.rows]
+        widths = [len(h) for h in self.headers]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print()
+        print(self.render())
+
+    def column(self, header: str) -> list:
+        """Extract one column by header name (for assertions in benches)."""
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+    def row_by(self, header: str, key) -> list:
+        """First row whose ``header`` column equals ``key``."""
+        idx = self.headers.index(header)
+        for row in self.rows:
+            if row[idx] == key:
+                return row
+        raise KeyError(f"no row with {header}={key!r}")
+
+    def cell(self, row_key, column: str, *, key_column: str | None = None) -> object:
+        """Cell lookup: row selected by the first column (or ``key_column``)."""
+        key_col = key_column or self.headers[0]
+        row = self.row_by(key_col, row_key)
+        return row[self.headers.index(column)]

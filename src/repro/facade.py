@@ -1,0 +1,136 @@
+"""Shared store facade: the uniform surface every system variant exposes.
+
+The benchmark harness compares four systems (RocksMash and three baselines).
+All of them present this facade — timed KV operations against the simulated
+clock, tier occupancy, and a cost report — so experiments treat them
+interchangeably.
+"""
+
+from __future__ import annotations
+
+from repro.lsm.db import DB, Snapshot
+from repro.lsm.write_batch import WriteBatch
+from repro.metrics.counters import CounterSet
+from repro.metrics.latency import LatencyHistogram
+from repro.sim.clock import SimClock, StopwatchRegion
+from repro.storage.cloud import CloudObjectStore
+from repro.storage.cost import CostModel, MonthlyBill
+from repro.storage.local import LocalDevice
+
+
+class StoreFacade:
+    """KV operations timed on the simulated clock, plus reporting.
+
+    Subclasses must set (typically in ``__init__``): ``db``, ``clock``,
+    ``counters``, ``local_device``, ``cloud_store`` (may be None),
+    ``cost_model``, and a class-level ``name``.
+    """
+
+    name = "store"
+    db: DB
+    clock: SimClock
+    counters: CounterSet
+    local_device: LocalDevice
+    cloud_store: CloudObjectStore | None
+    cost_model: CostModel
+
+    def _init_facade(self) -> None:
+        self.read_latency = LatencyHistogram()
+        self.write_latency = LatencyHistogram()
+
+    # -- KV API -----------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes, *, sync: bool = True) -> None:
+        with StopwatchRegion(self.clock) as sw:
+            self.db.put(key, value, sync=sync)
+        self.write_latency.record(sw.elapsed)
+
+    def delete(self, key: bytes, *, sync: bool = True) -> None:
+        with StopwatchRegion(self.clock) as sw:
+            self.db.delete(key, sync=sync)
+        self.write_latency.record(sw.elapsed)
+
+    def write(self, batch: WriteBatch, *, sync: bool = True) -> None:
+        with StopwatchRegion(self.clock) as sw:
+            self.db.write(batch, sync=sync)
+        self.write_latency.record(sw.elapsed)
+
+    def get(self, key: bytes, *, snapshot: Snapshot | None = None) -> bytes | None:
+        with StopwatchRegion(self.clock) as sw:
+            value = self.db.get(key, snapshot=snapshot)
+        self.read_latency.record(sw.elapsed)
+        return value
+
+    def multi_get(
+        self, keys: list[bytes], *, snapshot: Snapshot | None = None
+    ) -> dict[bytes, bytes | None]:
+        """Batched point lookups (sequential by default)."""
+        with StopwatchRegion(self.clock) as sw:
+            results = self.db.multi_get(keys, snapshot=snapshot)
+        self.read_latency.record(sw.elapsed)
+        return results
+
+    def scan(
+        self,
+        begin: bytes | None = None,
+        end: bytes | None = None,
+        limit: int | None = None,
+    ) -> list[tuple[bytes, bytes]]:
+        with StopwatchRegion(self.clock) as sw:
+            results = []
+            for i, kv in enumerate(self.db.scan(begin, end)):
+                if limit is not None and i >= limit:
+                    break
+                results.append(kv)
+        self.read_latency.record(sw.elapsed)
+        return results
+
+    def scan_reverse(
+        self,
+        begin: bytes | None = None,
+        end: bytes | None = None,
+        limit: int | None = None,
+    ) -> list[tuple[bytes, bytes]]:
+        """Descending-order range scan over user keys in [begin, end)."""
+        with StopwatchRegion(self.clock) as sw:
+            results = []
+            for i, kv in enumerate(self.db.scan_reverse(begin, end)):
+                if limit is not None and i >= limit:
+                    break
+                results.append(kv)
+        self.read_latency.record(sw.elapsed)
+        return results
+
+    def flush(self) -> None:
+        self.db.flush()
+
+    def compact_range(self, begin: bytes | None = None, end: bytes | None = None) -> None:
+        self.db.compact_range(begin, end)
+
+    def snapshot(self) -> Snapshot:
+        return self.db.snapshot()
+
+    def release_snapshot(self, snap: Snapshot) -> None:
+        self.db.release_snapshot(snap)
+
+    def close(self) -> None:
+        self.db.close()
+
+    # -- reporting ------------------------------------------------------------
+
+    def local_bytes(self) -> int:
+        return self.local_device.used_bytes()
+
+    def cloud_bytes(self) -> int:
+        return self.cloud_store.used_bytes() if self.cloud_store is not None else 0
+
+    def cost_report(self, window_seconds: float) -> MonthlyBill:
+        """Monthly bill extrapolated from the measured window."""
+        return self.cost_model.monthly_bill(
+            local_bytes=self.local_bytes(),
+            cloud_bytes=self.cloud_bytes(),
+            put_ops=self.counters.get("cloud.put_ops"),
+            get_ops=self.counters.get("cloud.get_ops"),
+            egress_bytes=self.counters.get("cloud.get_bytes"),
+            window_seconds=window_seconds,
+        )

@@ -1,0 +1,20 @@
+"""A complete from-scratch LSM-tree engine (the RocksDB substitute).
+
+Public surface: :class:`DB`, :class:`Options`, :class:`WriteBatch`,
+:class:`Snapshot`. The remaining modules (blocks, tables, versions,
+compaction) are importable for tests, benchmarks, and the
+:mod:`repro.mash` layer, which hooks the engine's structural points.
+"""
+
+from repro.lsm.db import DB, DBListeners, FlushEvent, Snapshot
+from repro.lsm.options import Options
+from repro.lsm.write_batch import WriteBatch
+
+__all__ = [
+    "DB",
+    "DBListeners",
+    "FlushEvent",
+    "Options",
+    "Snapshot",
+    "WriteBatch",
+]

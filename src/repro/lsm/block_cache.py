@@ -1,0 +1,75 @@
+"""In-memory (DRAM) LRU block cache.
+
+Keys are ``(file_name, offset)``; values are raw block payloads. Capacity is
+a byte budget, evicting least-recently-used entries. This is RocksDB's
+ordinary block cache — distinct from RocksMash's *persistent* cache
+(:mod:`repro.mash.pcache`), which survives restarts and lives on the local
+device. The two compose: DRAM cache in front, persistent cache behind.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class LRUBlockCache:
+    """Byte-budgeted LRU cache for block payloads."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity_bytes = capacity_bytes
+        self._entries: OrderedDict[tuple[str, int], bytes] = OrderedDict()
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def get(self, file_name: str, offset: int) -> bytes | None:
+        key = (file_name, offset)
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, file_name: str, offset: int, payload: bytes) -> None:
+        """Insert (or refresh) an entry, evicting LRU victims as needed.
+
+        Payloads larger than the whole budget are not cached at all.
+        """
+        if len(payload) > self.capacity_bytes:
+            return
+        key = (file_name, offset)
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._used -= len(old)
+        self._entries[key] = payload
+        self._used += len(payload)
+        while self._used > self.capacity_bytes:
+            _, victim = self._entries.popitem(last=False)
+            self._used -= len(victim)
+
+    def evict_file(self, file_name: str) -> int:
+        """Drop every block of ``file_name`` (table deleted); returns count."""
+        victims = [k for k in self._entries if k[0] == file_name]
+        for key in victims:
+            self._used -= len(self._entries.pop(key))
+        return len(victims)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._used = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,314 @@
+"""Leveled compaction: picking, merging, and the event hooks RocksMash uses.
+
+Picking follows LevelDB/RocksDB: L0 compacts when its *file count* reaches
+the trigger; deeper levels compact when their *byte size* exceeds the level
+target, highest score first. A compaction merges the chosen file(s) with the
+overlapping files one level down, dropping shadowed entries and — at the
+key's base level, beneath the oldest live snapshot — tombstones.
+
+Two structural hooks matter for the paper's mechanisms:
+
+* **Trivial move** — a file with no overlap below is relinked, not
+  rewritten. File identity is preserved, so any cached blocks stay valid.
+* **CompactionEvent** — emitted after every rewrite with the input files and
+  the per-block key ranges of the outputs
+  (:class:`~repro.lsm.table_builder.BlockMeta`), which the compaction-aware
+  cache layout (:mod:`repro.mash.layout`) consumes to inherit block heat.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.lsm.format import table_file_name
+from repro.lsm.iterator import merge_internal
+from repro.lsm.options import Options
+from repro.lsm.table_builder import TableBuilder, TableProperties
+from repro.lsm.table_cache import TableCache
+from repro.lsm.version import FileMetaData, Version, VersionEdit
+from repro.storage.env import Env
+from repro.util.encoding import (
+    MAX_SEQUENCE,
+    TYPE_DELETION,
+    TYPE_VALUE,
+    make_internal_key,
+    parse_internal_key,
+)
+
+
+@dataclass
+class Compaction:
+    """A picked compaction: inputs at ``level`` merge into ``level + 1``
+    (or into ``output_level_override`` for universal-style merges)."""
+
+    level: int
+    inputs: list[FileMetaData]
+    overlaps: list[FileMetaData]
+    score: float
+    output_level_override: int | None = None
+    allow_tombstone_drop: bool = True
+    """False for universal partial merges: older runs outside the merge may
+    still hold values a tombstone must keep shadowing."""
+
+    force_rewrite: bool = False
+    """Manual compactions set this: a rewrite must happen even where a
+    trivial move would do, so tombstone dropping and the user compaction
+    filter actually run."""
+
+    @property
+    def output_level(self) -> int:
+        if self.output_level_override is not None:
+            return self.output_level_override
+        return self.level + 1
+
+    def is_trivial_move(self) -> bool:
+        """Single input, nothing to merge below: relink instead of rewrite."""
+        return (
+            not self.force_rewrite
+            and len(self.inputs) == 1
+            and not self.overlaps
+            and self.output_level != self.level
+        )
+
+
+@dataclass(frozen=True)
+class CompactionOutput:
+    """One table written by a compaction, with block-level key ranges."""
+
+    meta: FileMetaData
+    properties: TableProperties
+
+
+@dataclass(frozen=True)
+class CompactionEvent:
+    """Posted to listeners after a (non-trivial) compaction commits."""
+
+    level: int
+    output_level: int
+    input_files: list[FileMetaData]
+    outputs: list[CompactionOutput]
+    dropped_entries: int
+    trivial_move: bool = False
+
+
+CompactionListener = Callable[[CompactionEvent], None]
+
+
+@dataclass
+class CompactionStats:
+    """Aggregate counters for reporting (write amplification etc.)."""
+
+    compactions: int = 0
+    trivial_moves: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    entries_dropped: int = 0
+    entries_filtered: int = 0
+
+
+class CompactionPicker:
+    """Chooses what to compact next; remembers per-level cursors."""
+
+    def __init__(self, options: Options) -> None:
+        self.options = options
+        # Round-robin cursor: the largest user key compacted per level.
+        self._pointers: dict[int, bytes] = {}
+
+    def compute_scores(self, version: Version) -> list[tuple[float, int]]:
+        """(score, level) pairs; score >= 1.0 means compaction is due."""
+        scores: list[tuple[float, int]] = []
+        trigger = self.options.level0_file_num_compaction_trigger
+        scores.append((version.num_files(0) / trigger, 0))
+        for level in range(1, self.options.num_levels - 1):
+            target = self.options.max_bytes_for_level(level)
+            scores.append((version.level_bytes(level) / target, level))
+        scores.sort(reverse=True)
+        return scores
+
+    def pick(self, version: Version) -> Compaction | None:
+        scores = self.compute_scores(version)
+        best_score, level = scores[0]
+        if best_score < 1.0:
+            return None
+        if level == 0:
+            seeds = list(version.files[0])
+        else:
+            files = version.files[level]
+            cursor = self._pointers.get(level)
+            seeds = [f for f in files if cursor is None or f.largest_user_key > cursor]
+            if not seeds:
+                seeds = files  # wrap around
+            seeds = seeds[:1]
+        if not seeds:
+            return None
+        begin = min(f.smallest_user_key for f in seeds)
+        end = max(f.largest_user_key for f in seeds)
+        inputs = version.overlapping_files(level, begin, end)
+        begin = min(f.smallest_user_key for f in inputs)
+        end = max(f.largest_user_key for f in inputs)
+        overlaps = version.overlapping_files(level + 1, begin, end)
+        self._pointers[level] = end
+        return Compaction(level, inputs, overlaps, best_score)
+
+
+class CompactionJob:
+    """Executes one compaction and produces the VersionEdit to commit."""
+
+    def __init__(
+        self,
+        env: Env,
+        prefix: str,
+        options: Options,
+        table_cache: TableCache,
+        new_file_number: Callable[[], int],
+        *,
+        stats: CompactionStats | None = None,
+    ) -> None:
+        self.env = env
+        self.prefix = prefix
+        self.options = options
+        self.table_cache = table_cache
+        self.new_file_number = new_file_number
+        self.stats = stats or CompactionStats()
+
+    def run(
+        self,
+        compaction: Compaction,
+        version: Version,
+        *,
+        smallest_snapshot: int = MAX_SEQUENCE,
+        newest_snapshot: int = 0,
+        listener: CompactionListener | None = None,
+    ) -> VersionEdit:
+        """Merge inputs, write outputs, and return the edit (not committed).
+
+        ``smallest_snapshot`` is the oldest sequence any live snapshot may
+        read; entries required by it are preserved. ``newest_snapshot`` is
+        the youngest live snapshot (0 = none): the user compaction filter
+        only touches entries *no* snapshot can still observe.
+        """
+        edit = VersionEdit()
+        for meta in compaction.inputs:
+            edit.delete_file(compaction.level, meta.number)
+        for meta in compaction.overlaps:
+            edit.delete_file(compaction.output_level, meta.number)
+
+        if compaction.is_trivial_move():
+            moved = compaction.inputs[0]
+            edit.add_file(compaction.output_level, moved)
+            self.stats.trivial_moves += 1
+            if listener is not None:
+                listener(
+                    CompactionEvent(
+                        level=compaction.level,
+                        output_level=compaction.output_level,
+                        input_files=list(compaction.inputs),
+                        outputs=[],
+                        dropped_entries=0,
+                        trivial_move=True,
+                    )
+                )
+            return edit
+
+        sources = [
+            iter(self.table_cache.get_reader(meta.number))
+            for meta in compaction.inputs + compaction.overlaps
+        ]
+        merged = merge_internal(sources)
+
+        outputs: list[CompactionOutput] = []
+        builder: TableBuilder | None = None
+        builder_number = 0
+        dropped = 0
+        prev_user_key: bytes | None = None
+        last_seq_for_key = MAX_SEQUENCE
+
+        def finish_builder() -> None:
+            nonlocal builder
+            if builder is None or builder.num_entries == 0:
+                builder = None
+                return
+            props = builder.finish()
+            meta = FileMetaData(
+                number=builder_number,
+                file_size=props.file_size,
+                smallest=props.smallest_key,
+                largest=props.largest_key,
+            )
+            outputs.append(CompactionOutput(meta, props))
+            self.stats.bytes_written += props.file_size
+            builder = None
+
+        for ikey, value in merged:
+            parsed = parse_internal_key(ikey)
+            if parsed.user_key != prev_user_key:
+                prev_user_key = parsed.user_key
+                last_seq_for_key = MAX_SEQUENCE
+
+            drop = False
+            if last_seq_for_key <= smallest_snapshot:
+                # A newer entry for this key is already visible to every
+                # live snapshot; this one can never be read again.
+                drop = True
+            elif (
+                compaction.allow_tombstone_drop
+                and parsed.value_type == TYPE_DELETION
+                and parsed.sequence <= smallest_snapshot
+                and version.is_base_level_for_key(compaction.output_level, parsed.user_key)
+            ):
+                drop = True
+            last_seq_for_key = parsed.sequence
+
+            if drop:
+                dropped += 1
+                continue
+
+            user_filter = self.options.compaction_filter
+            if (
+                user_filter is not None
+                and parsed.value_type == TYPE_VALUE
+                and parsed.sequence > newest_snapshot
+                and not user_filter(parsed.user_key, value)
+            ):
+                # The filter retired this entry. At the key's base level it
+                # can vanish outright; elsewhere it becomes a tombstone so
+                # older buried versions stay hidden.
+                self.stats.entries_filtered += 1
+                if compaction.allow_tombstone_drop and version.is_base_level_for_key(
+                    compaction.output_level, parsed.user_key
+                ):
+                    dropped += 1
+                    continue
+                ikey = make_internal_key(parsed.user_key, parsed.sequence, TYPE_DELETION)
+                value = b""
+
+            if builder is None:
+                builder_number = self.new_file_number()
+                name = table_file_name(self.prefix, builder_number)
+                builder = TableBuilder(self.options, self.env.new_writable_file(name))
+            builder.add(ikey, value)
+            if builder.estimated_size >= self.options.target_file_size_base:
+                finish_builder()
+
+        finish_builder()
+
+        for output in outputs:
+            edit.add_file(compaction.output_level, output.meta)
+        self.stats.compactions += 1
+        self.stats.entries_dropped += dropped
+        self.stats.bytes_read += sum(
+            meta.file_size for meta in compaction.inputs + compaction.overlaps
+        )
+
+        if listener is not None:
+            listener(
+                CompactionEvent(
+                    level=compaction.level,
+                    output_level=compaction.output_level,
+                    input_files=list(compaction.inputs) + list(compaction.overlaps),
+                    outputs=outputs,
+                    dropped_entries=dropped,
+                )
+            )
+        return edit

@@ -1,0 +1,805 @@
+"""The LSM database: write path, read path, flush, compaction, recovery.
+
+A single-process, deterministic engine with RocksDB's structure:
+
+* writes append a :class:`WriteBatch` to the WAL, then apply to the memtable;
+* a full memtable flushes to an L0 SSTable and rotates the WAL;
+* compactions run *inline* whenever a level is over target (no background
+  threads — determinism is a design goal of the reproduction; the simulated
+  clock still accounts their I/O);
+* reads consult memtable → immutable files via the current
+  :class:`~repro.lsm.version.Version`;
+* ``open`` on an existing DB replays MANIFEST then the live WAL.
+
+Extension points used by :mod:`repro.mash`:
+
+* the Env decides where every file lives (local/cloud/hybrid);
+* ``loader_wrapper`` intercepts block fetches (persistent cache);
+* ``listeners`` observe flushes, compactions, and file deletions;
+* the ``_open_wal`` / ``_replay_wal`` / ``_wal_file_names`` trio is
+  overridden by the extended-WAL store to shard the log.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+
+from repro.errors import ClosedError, InvalidArgumentError, RecoveryError
+from repro.lsm.block_cache import LRUBlockCache
+from repro.lsm.compaction import (
+    CompactionEvent,
+    CompactionJob,
+    CompactionPicker,
+    CompactionStats,
+)
+from repro.lsm.format import log_file_name, parse_file_name, table_file_name
+from repro.lsm.iterator import clamp_to_range, merge_internal, visible_user_entries
+from repro.lsm.memtable import GetResult, MemTable
+from repro.lsm.options import Options
+from repro.lsm.table_builder import TableBuilder, TableProperties
+from repro.lsm.table_cache import TableCache
+from repro.lsm.version import FileMetaData, VersionEdit, VersionSet
+from repro.lsm.wal import LogWriter, read_log_file
+from repro.lsm.write_batch import WriteBatch
+from repro.storage.env import Env
+from repro.util.encoding import (
+    MAX_SEQUENCE,
+    TYPE_DELETION,
+    TYPE_VALUE,
+    make_internal_key,
+    parse_internal_key,
+)
+
+
+@dataclass(frozen=True)
+class FlushEvent:
+    """Posted after a memtable flush commits."""
+
+    meta: FileMetaData
+    properties: TableProperties
+    level: int
+
+
+@dataclass
+class DBListeners:
+    """Observer hooks for store variants (caches, placement)."""
+
+    on_flush: list[Callable[[FlushEvent], None]] = field(default_factory=list)
+    on_compaction: list[Callable[[CompactionEvent], None]] = field(default_factory=list)
+    on_table_delete: list[Callable[[str], None]] = field(default_factory=list)
+    on_version_change: list[Callable[[], None]] = field(default_factory=list)
+
+
+class Snapshot:
+    """A consistent read point; release via :meth:`DB.release_snapshot`."""
+
+    __slots__ = ("sequence",)
+
+    def __init__(self, sequence: int) -> None:
+        self.sequence = sequence
+
+
+class DB:
+    """An LSM-tree key–value store over an :class:`Env`."""
+
+    def __init__(
+        self,
+        env: Env,
+        prefix: str,
+        options: Options | None = None,
+        *,
+        loader_wrapper=None,
+    ) -> None:
+        """Use :meth:`DB.open` instead of constructing directly."""
+        self.env = env
+        self.prefix = prefix
+        self.options = options or Options()
+        self.listeners = DBListeners()
+        self.block_cache = (
+            LRUBlockCache(self.options.block_cache_bytes)
+            if self.options.block_cache_bytes > 0
+            else None
+        )
+        self._user_loader_wrapper = loader_wrapper
+        self.table_cache = TableCache(
+            env, prefix, self.options, loader_wrapper=self._compose_loader_wrapper()
+        )
+        self.versions = VersionSet(env, prefix, self.options)
+        self.memtable = MemTable()
+        if self.options.compaction_style == "universal":
+            from repro.lsm.universal import UniversalCompactionPicker
+
+            self._picker = UniversalCompactionPicker(self.options)
+        else:
+            self._picker = CompactionPicker(self.options)
+        self.compaction_stats = CompactionStats()
+        self._snapshots: list[int] = []
+        self._wal: LogWriter | None = None
+        self._wal_number = 0
+        self._closed = False
+        self.flush_count = 0
+        self.orphans_purged = 0
+        self._pinned_versions: list = []
+        self._deferred_deletes: set[int] = set()
+
+    # -- loader composition -------------------------------------------------
+
+    def _compose_loader_wrapper(self):
+        """Chain: direct I/O → user wrapper (persistent cache) → DRAM cache."""
+
+        def wrapper(name, file, direct):
+            loader = direct
+            if self._user_loader_wrapper is not None:
+                loader = self._user_loader_wrapper(name, file, loader)
+            if self.block_cache is not None:
+                loader = self._dram_cached_loader(name, loader)
+            return loader
+
+        return wrapper
+
+    def _dram_cached_loader(self, name, next_loader):
+        cache = self.block_cache
+
+        def load(file_name, handle, kind):
+            if kind != "data":
+                return next_loader(file_name, handle, kind)
+            payload = cache.get(file_name, handle.offset)
+            if payload is None:
+                payload = next_loader(file_name, handle, kind)
+                cache.put(file_name, handle.offset, payload)
+            return payload
+
+        return load
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        env: Env,
+        prefix: str,
+        options: Options | None = None,
+        *,
+        create_if_missing: bool = True,
+        error_if_exists: bool = False,
+        loader_wrapper=None,
+        **subclass_kwargs,
+    ) -> "DB":
+        """Open (recovering) or create a database under ``prefix``.
+
+        Extra keyword arguments are forwarded to the (sub)class constructor
+        (e.g. the extended-WAL configuration of :class:`MashDB`).
+        """
+        db = cls(env, prefix, options, loader_wrapper=loader_wrapper, **subclass_kwargs)
+        exists = env.file_exists(f"{prefix}CURRENT")
+        if exists and error_if_exists:
+            raise InvalidArgumentError(f"DB already exists at {prefix!r}")
+        if exists:
+            db._recover()
+        else:
+            if not create_if_missing:
+                raise RecoveryError(f"DB missing at {prefix!r}")
+            db.versions.create()
+            db._rotate_wal()
+        return db
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+        self.versions.close()
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClosedError("database is closed")
+
+    # -- WAL strategy (overridden by the extended-WAL store) -----------------
+
+    def _open_wal(self, number: int):
+        """Create the write-side WAL object for log generation ``number``."""
+        return LogWriter(self.env.new_writable_file(log_file_name(self.prefix, number)))
+
+    def _wal_file_names(self, number: int) -> list[str]:
+        """All physical files belonging to log generation ``number``."""
+        return [log_file_name(self.prefix, number)]
+
+    def _replay_wal(self, number: int) -> tuple[int, int]:
+        """Replay one log generation into the memtable.
+
+        Returns ``(max_sequence_seen, records_applied)``.
+        """
+        max_seq = 0
+        applied = 0
+        for name in self._wal_file_names(number):
+            if not self.env.file_exists(name):
+                continue
+            for payload in read_log_file(self.env, name):
+                batch = WriteBatch.decode(payload)
+                seq = batch.sequence
+                for op in batch:
+                    self.memtable.add(seq, op.value_type, op.key, op.value)
+                    seq += 1
+                max_seq = max(max_seq, seq - 1)
+                applied += 1
+        return max_seq, applied
+
+    _WAL_KIND = "log"
+
+    def _live_wal_numbers(self, listing: list[str] | None = None) -> list[int]:
+        """Log generations on disk that are >= the manifest's log number.
+
+        ``listing`` lets recovery reuse one directory listing (a LIST
+        request costs a full round trip on the cloud tier).
+        """
+        if listing is None:
+            listing = self.env.list_files(self.prefix)
+        numbers = set()
+        for name in listing:
+            parsed = parse_file_name(self.prefix, name)
+            if parsed and parsed[0] == self._WAL_KIND and parsed[1] >= self.versions.log_number:
+                numbers.add(parsed[1])
+        return sorted(numbers)
+
+    def _rotate_wal(self) -> int:
+        """Close the current WAL and start a fresh generation."""
+        if self._wal is not None:
+            self._wal.close()
+        self._wal_number = self.versions.new_file_number()
+        self._wal = self._open_wal(self._wal_number)
+        return self._wal_number
+
+    # -- recovery -------------------------------------------------------------
+
+    def _recover(self) -> None:
+        self.versions.recover()
+        # One directory listing serves both file-number bumping and WAL
+        # discovery (a LIST is a full round trip on the cloud tier).
+        listing = self.env.list_files(self.prefix)
+        # Bump past any file physically on disk (the live WAL's number was
+        # allocated after the last manifest edit and never persisted).
+        max_on_disk = 0
+        for name in listing:
+            parsed = parse_file_name(self.prefix, name)
+            if parsed:
+                max_on_disk = max(max_on_disk, parsed[1])
+        self.versions.next_file_number = max(self.versions.next_file_number, max_on_disk + 1)
+        self._purge_orphans(listing)
+        replayed_max = 0
+        old_numbers = self._live_wal_numbers(listing)
+        for number in old_numbers:
+            max_seq, _ = self._replay_wal(number)
+            replayed_max = max(replayed_max, max_seq)
+        self.versions.last_sequence = max(self.versions.last_sequence, replayed_max)
+        # Memtable contents re-enter a fresh WAL generation via flush if big
+        # enough, otherwise they ride along in the new log's lifetime.
+        self._rotate_wal()
+        if len(self.memtable) > 0:
+            self._flush_memtable()
+        for number in old_numbers:
+            for name in self._wal_file_names(number):
+                if self.env.file_exists(name):
+                    self.env.delete_file(name)
+
+    def _purge_orphans(self, listing: list[str]) -> None:
+        """Delete files a crash left behind but no version references.
+
+        A crash between writing compaction/flush outputs and committing the
+        manifest edit orphans those table files (on either tier); a crash
+        between a manifest rewrite's CURRENT update and the old manifest's
+        deletion orphans a manifest. Both are reclaimed here.
+        """
+        live = self.versions.current.live_file_numbers()
+        for name in listing:
+            parsed = parse_file_name(self.prefix, name)
+            if parsed is None:
+                continue
+            kind, number = parsed
+            doomed = (kind == "table" and number not in live) or (
+                kind == "manifest" and number != self.versions.manifest_number
+            )
+            if doomed and self.env.file_exists(name):
+                self.env.delete_file(name)
+                self.orphans_purged += 1
+                if kind == "table":
+                    for hook in self.listeners.on_table_delete:
+                        hook(name)
+
+    def _maybe_rewrite_manifest(self) -> None:
+        limit = self.options.max_manifest_file_size
+        if limit and self.versions.manifest_bytes() > limit:
+            self.versions.rewrite_manifest()
+
+    # -- write path --------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes, *, sync: bool = True) -> None:
+        batch = WriteBatch()
+        batch.put(key, value)
+        self.write(batch, sync=sync)
+
+    def delete(self, key: bytes, *, sync: bool = True) -> None:
+        batch = WriteBatch()
+        batch.delete(key)
+        self.write(batch, sync=sync)
+
+    def delete_range(self, begin: bytes, end: bytes, *, sync: bool = True) -> int:
+        """Delete every key in [begin, end); returns how many were deleted.
+
+        Implemented as a snapshot-consistent scan emitting one tombstone per
+        live key in one atomic batch — O(range size), unlike RocksDB's O(1)
+        range tombstones, but with identical visible semantics. Adequate for
+        the workloads this reproduction runs; documented as a deliberate
+        simplification.
+        """
+        self._check_open()
+        if begin >= end:
+            raise InvalidArgumentError("delete_range requires begin < end")
+        batch = WriteBatch()
+        for user_key, _value in self.scan(begin, end):
+            batch.delete(user_key)
+        if len(batch):
+            self.write(batch, sync=sync)
+        return len(batch)
+
+    def write(self, batch: WriteBatch, *, sync: bool = True) -> None:
+        """Apply a batch atomically: WAL first, then memtable."""
+        self._check_open()
+        if len(batch) == 0:
+            return
+        batch.sequence = self.versions.last_sequence + 1
+        assert self._wal is not None
+        self._wal.add_record(batch.encode(), sync=sync)
+        seq = batch.sequence
+        for op in batch:
+            self.memtable.add(seq, op.value_type, op.key, op.value)
+            seq += 1
+        self.versions.last_sequence = seq - 1
+        if self.memtable.approximate_memory_usage() >= self.options.write_buffer_size:
+            self._flush_memtable()
+            self._maybe_compact()
+
+    # -- flush ----------------------------------------------------------------------
+
+    def ingest(self, entries: list[tuple[bytes, bytes]], *, sync_unused: bool = True) -> int:
+        """Bulk-load sorted (key, value) pairs as one SSTable, bypassing the
+        WAL and memtable (RocksDB's external-file ingestion).
+
+        The table is placed at the deepest level where it fits without
+        overlapping existing data or shadowing newer entries, so reads stay
+        correct; falls back to L0. Keys must be unique and sorted ascending.
+        Returns the number of ingested entries.
+        """
+        self._check_open()
+        if not entries:
+            return 0
+        keys = [k for k, _ in entries]
+        if any(b >= a for a, b in zip(keys[1:], keys)):
+            raise InvalidArgumentError("ingest requires strictly ascending unique keys")
+        # Flush overlapping memtable entries *before* allocating the ingest
+        # file number: within L0, higher numbers must mean newer data.
+        lo, hi = keys[0], keys[-1]
+        if len(self.memtable) > 0:
+            probe = make_internal_key(lo, MAX_SEQUENCE, TYPE_VALUE)
+            for ikey, _ in self.memtable.seek(probe):
+                if parse_internal_key(ikey).user_key <= hi:
+                    self._flush_memtable()
+                break
+        sequence = self.versions.last_sequence + 1
+        number = self.versions.new_file_number()
+        name = table_file_name(self.prefix, number)
+        builder = TableBuilder(self.options, self.env.new_writable_file(name))
+        for key, value in entries:
+            builder.add(make_internal_key(key, sequence, TYPE_VALUE), value)
+        props = builder.finish()
+        meta = FileMetaData(number, props.file_size, props.smallest_key, props.largest_key)
+        # The ingested data carries the newest sequence, so it must sit
+        # *above* (shallower than) any existing overlapping data — the read
+        # path walks memtable, L0 (newest first), L1, ... and must find it
+        # before older versions. Any overlapping memtable entries are
+        # flushed first so L0 ordering by file number stays truthful.
+        version = self.versions.current
+        shallowest_overlap = None
+        for level in range(self.options.num_levels):
+            if any(f.overlaps_user_range(lo, hi) for f in version.files[level]):
+                shallowest_overlap = level
+                break
+        if shallowest_overlap is None:
+            target = self.options.num_levels - 1
+        elif shallowest_overlap == 0:
+            target = 0  # L0 tolerates overlap; file number orders recency
+        else:
+            target = shallowest_overlap - 1
+        edit = VersionEdit(last_sequence=sequence)
+        edit.add_file(target, meta)
+        self.versions.last_sequence = sequence
+        self.versions.log_and_apply(edit)
+        event = FlushEvent(meta=meta, properties=props, level=target)
+        for hook in self.listeners.on_flush:
+            hook(event)
+        self._notify_version_change()
+        self._maybe_compact()
+        return len(entries)
+
+    def flush(self) -> None:
+        """Force the memtable to an SSTable (no-op when empty)."""
+        self._check_open()
+        if len(self.memtable) > 0:
+            self._flush_memtable()
+            self._maybe_compact()
+
+    def _flush_memtable(self) -> None:
+        number = self.versions.new_file_number()
+        name = table_file_name(self.prefix, number)
+        builder = TableBuilder(self.options, self.env.new_writable_file(name))
+        for ikey, value in self.memtable:
+            builder.add(ikey, value)
+        props = builder.finish()
+        meta = FileMetaData(
+            number=number,
+            file_size=props.file_size,
+            smallest=props.smallest_key,
+            largest=props.largest_key,
+        )
+        old_wal_number = self._wal_number
+        new_wal_number = self._rotate_wal()
+        edit = VersionEdit(log_number=new_wal_number, last_sequence=self.versions.last_sequence)
+        edit.add_file(0, meta)
+        self.versions.log_and_apply(edit)
+        self.memtable = MemTable(seed=number)
+        self.flush_count += 1
+        for name_ in self._wal_file_names(old_wal_number):
+            if self.env.file_exists(name_):
+                self.env.delete_file(name_)
+        self._maybe_rewrite_manifest()
+        event = FlushEvent(meta=meta, properties=props, level=0)
+        for hook in self.listeners.on_flush:
+            hook(event)
+        self._notify_version_change()
+
+    # -- compaction ------------------------------------------------------------------
+
+    # -- version pinning (live iterators vs compaction) -------------------
+
+    def _pin_version(self):
+        """Pin the current version so its files survive compactions while a
+        live iterator still reads them (deletion is deferred to unpin)."""
+        version = self.versions.current
+        self._pinned_versions.append(version)
+        return version
+
+    def _unpin_version(self, version) -> None:
+        self._pinned_versions.remove(version)
+        self._purge_deferred_deletes()
+
+    def _protected_file_numbers(self) -> set[int]:
+        protected = self.versions.current.live_file_numbers()
+        for version in self._pinned_versions:
+            protected |= version.live_file_numbers()
+        return protected
+
+    def _delete_table_file(self, number: int) -> None:
+        """Physically remove a table and invalidate every cache layer."""
+        name = table_file_name(self.prefix, number)
+        if self.env.file_exists(name):
+            self.env.delete_file(name)
+        self.table_cache.evict(number)
+        if self.block_cache is not None:
+            self.block_cache.evict_file(name)
+        for hook in self.listeners.on_table_delete:
+            hook(name)
+
+    def _purge_deferred_deletes(self) -> None:
+        protected = self._protected_file_numbers()
+        for number in sorted(self._deferred_deletes - protected):
+            self._deferred_deletes.discard(number)
+            self._delete_table_file(number)
+
+    def _smallest_snapshot(self) -> int:
+        if self._snapshots:
+            return min(self._snapshots)
+        return self.versions.last_sequence
+
+    def _maybe_compact(self) -> None:
+        """Run compactions until every level is within target."""
+        while True:
+            compaction = self._picker.pick(self.versions.current)
+            if compaction is None:
+                return
+            self._run_compaction(compaction)
+
+    def compact_range(self, begin: bytes | None = None, end: bytes | None = None) -> None:
+        """Manually compact every level overlapping [begin, end].
+
+        Forces real rewrites (no trivial moves), and finishes with an
+        in-place rewrite of the bottommost level holding data in the range
+        — RocksDB's ``bottommost_level_compaction`` — so tombstones and
+        compaction-filtered entries are fully reclaimed.
+        """
+        from repro.lsm.compaction import Compaction
+
+        self._check_open()
+        self.flush()
+        for level in range(self.options.num_levels - 1):
+            inputs = self.versions.current.overlapping_files(level, begin, end)
+            if not inputs:
+                continue
+            lo = min(f.smallest_user_key for f in inputs)
+            hi = max(f.largest_user_key for f in inputs)
+            overlaps = self.versions.current.overlapping_files(level + 1, lo, hi)
+            self._run_compaction(
+                Compaction(level, inputs, overlaps, score=1.0, force_rewrite=True)
+            )
+        # Bottommost pass: rewrite the deepest level with data in the range.
+        for level in range(self.options.num_levels - 1, 0, -1):
+            inputs = self.versions.current.overlapping_files(level, begin, end)
+            if inputs:
+                self._run_compaction(
+                    Compaction(
+                        level,
+                        inputs,
+                        [],
+                        score=1.0,
+                        output_level_override=level,
+                        force_rewrite=True,
+                    )
+                )
+                break
+
+    def _run_compaction(self, compaction) -> None:
+        job = CompactionJob(
+            self.env,
+            self.prefix,
+            self.options,
+            self.table_cache,
+            self.versions.new_file_number,
+            stats=self.compaction_stats,
+        )
+
+        def listener(event: CompactionEvent) -> None:
+            for hook in self.listeners.on_compaction:
+                hook(event)
+
+        edit = job.run(
+            compaction,
+            self.versions.current,
+            smallest_snapshot=self._smallest_snapshot(),
+            newest_snapshot=max(self._snapshots, default=0),
+            listener=listener,
+        )
+        self.versions.log_and_apply(edit)
+        # Physically delete replaced inputs (trivial moves keep their file;
+        # files still referenced by a pinned version — a live iterator —
+        # are deferred until the pin is released).
+        protected = self._protected_file_numbers()
+        for _, number in edit.deleted_files:
+            if number in self.versions.current.live_file_numbers():
+                continue
+            if number in protected:
+                self._deferred_deletes.add(number)
+                continue
+            self._delete_table_file(number)
+        self._maybe_rewrite_manifest()
+        self._notify_version_change()
+
+    def _notify_version_change(self) -> None:
+        for hook in self.listeners.on_version_change:
+            hook()
+
+    # -- read path ------------------------------------------------------------------------
+
+    def get(self, key: bytes, *, snapshot: Snapshot | None = None) -> bytes | None:
+        """Point lookup; returns None when absent or deleted."""
+        self._check_open()
+        sequence = snapshot.sequence if snapshot else self.versions.last_sequence
+        result = self.memtable.get(key, sequence)
+        if result.state == GetResult.FOUND:
+            return result.value
+        if result.state == GetResult.DELETED:
+            return None
+        lookup = make_internal_key(key, sequence, TYPE_VALUE)
+        for _level, meta in self.versions.current.files_for_user_key(key):
+            reader = self.table_cache.get_reader(meta.number)
+            entry = reader.get(lookup)
+            if entry is None:
+                continue
+            ikey, value = entry
+            parsed = parse_internal_key(ikey)
+            if parsed.user_key != key:
+                continue
+            if parsed.value_type == TYPE_DELETION:
+                return None
+            return value
+        return None
+
+    def multi_get(
+        self, keys: list[bytes], *, snapshot: Snapshot | None = None
+    ) -> dict[bytes, bytes | None]:
+        """Batched point lookups.
+
+        The base engine serves them sequentially; the hybrid store
+        overrides the facade-level ``multi_get`` to fetch cloud blocks for
+        different keys concurrently (fork/join on the simulated clock).
+        """
+        return {key: self.get(key, snapshot=snapshot) for key in keys}
+
+    def scan(
+        self,
+        begin: bytes | None = None,
+        end: bytes | None = None,
+        *,
+        snapshot: Snapshot | None = None,
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Ordered iteration over user keys in [begin, end).
+
+        The version is *pinned* for the iterator's lifetime: compactions
+        that run while the caller consumes the scan defer deleting the
+        pinned files, so live iterators are never broken.
+        """
+        self._check_open()
+        sequence = snapshot.sequence if snapshot else self.versions.last_sequence
+        seek_key = make_internal_key(begin, MAX_SEQUENCE, TYPE_VALUE) if begin else None
+        version = self._pin_version()
+        try:
+            sources = []
+            if seek_key is not None:
+                sources.append(self.memtable.seek(seek_key))
+            else:
+                sources.append(iter(self.memtable))
+            for meta in version.files[0]:
+                sources.append(self._table_iter(meta, seek_key))
+            for level in range(1, self.options.num_levels):
+                if version.files[level]:
+                    sources.append(self._level_iter(version, level, begin, seek_key))
+            merged = merge_internal(sources)
+            yield from clamp_to_range(visible_user_entries(merged, sequence), begin, end)
+        finally:
+            self._unpin_version(version)
+
+    def scan_reverse(
+        self,
+        begin: bytes | None = None,
+        end: bytes | None = None,
+        *,
+        snapshot: Snapshot | None = None,
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Ordered iteration over user keys in [begin, end), *descending*.
+
+        Mirrors :meth:`scan` but walks every source backward. Sources do
+        not support reverse seek, so iteration starts from each source's
+        end; the range clamp stops consumption once keys drop below
+        ``begin``.
+        """
+        from repro.lsm.iterator import (
+            clamp_to_range_reverse,
+            merge_internal_reverse,
+            visible_user_entries_reverse,
+        )
+
+        self._check_open()
+        sequence = snapshot.sequence if snapshot else self.versions.last_sequence
+        version = self._pin_version()
+        try:
+            sources = [self.memtable.reverse_iter()]
+            for meta in version.files[0]:
+                sources.append(self.table_cache.get_reader(meta.number).reverse_iter())
+            for level in range(1, self.options.num_levels):
+                if version.files[level]:
+                    sources.append(self._level_reverse_iter(version, level, end))
+            merged = merge_internal_reverse(sources)
+            yield from clamp_to_range_reverse(
+                visible_user_entries_reverse(merged, sequence), begin, end
+            )
+        finally:
+            self._unpin_version(version)
+
+    def _level_reverse_iter(self, version, level: int, end: bytes | None):
+        def gen():
+            for meta in reversed(version.files[level]):
+                if end is not None and meta.smallest_user_key >= end:
+                    continue
+                yield from self.table_cache.get_reader(meta.number).reverse_iter()
+
+        return gen()
+
+    def _table_iter(self, meta: FileMetaData, seek_key: bytes | None):
+        reader = self.table_cache.get_reader(meta.number)
+        if seek_key is None:
+            return iter(reader)
+        return reader.seek(seek_key)
+
+    def _level_iter(self, version, level: int, begin: bytes | None, seek_key: bytes | None):
+        def gen():
+            for meta in version.files[level]:
+                if begin is not None and meta.largest_user_key < begin:
+                    continue
+                yield from self._table_iter(meta, seek_key)
+
+        return gen()
+
+    # -- snapshots ----------------------------------------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        """Capture a consistent read point (pin it until released)."""
+        self._check_open()
+        snap = Snapshot(self.versions.last_sequence)
+        self._snapshots.append(snap.sequence)
+        return snap
+
+    def release_snapshot(self, snap: Snapshot) -> None:
+        self._snapshots.remove(snap.sequence)
+
+    # -- introspection -------------------------------------------------------------------------
+
+    def get_property(self, name: str):
+        """RocksDB-style introspection properties.
+
+        Supported names (prefix ``repro.``):
+
+        * ``num-files-at-level<N>`` — file count at level N (int)
+        * ``total-sst-bytes`` — bytes across all live tables (int)
+        * ``num-entries-memtable`` — entries buffered in the memtable (int)
+        * ``approximate-memory-usage`` — memtable payload bytes (int)
+        * ``last-sequence`` — newest committed sequence number (int)
+        * ``manifest-bytes`` — current MANIFEST size (int)
+        * ``num-snapshots`` — live snapshots (int)
+        * ``block-cache-hit-ratio`` — DRAM cache hit ratio (float)
+        * ``compaction-stats`` — human-readable summary (str)
+        * ``levels`` — human-readable per-level table (str)
+
+        Raises :class:`InvalidArgumentError` for unknown names.
+        """
+        self._check_open()
+        if not name.startswith("repro."):
+            raise InvalidArgumentError(f"unknown property {name!r}")
+        key = name[len("repro.") :]
+        if key.startswith("num-files-at-level"):
+            try:
+                level = int(key[len("num-files-at-level") :])
+            except ValueError as exc:
+                raise InvalidArgumentError(f"bad level in {name!r}") from exc
+            if not 0 <= level < self.options.num_levels:
+                raise InvalidArgumentError(f"level out of range in {name!r}")
+            return self.versions.current.num_files(level)
+        if key == "total-sst-bytes":
+            return self.versions.current.total_bytes()
+        if key == "num-entries-memtable":
+            return len(self.memtable)
+        if key == "approximate-memory-usage":
+            return self.memtable.approximate_memory_usage()
+        if key == "last-sequence":
+            return self.versions.last_sequence
+        if key == "manifest-bytes":
+            return self.versions.manifest_bytes()
+        if key == "num-snapshots":
+            return len(self._snapshots)
+        if key == "block-cache-hit-ratio":
+            return self.block_cache.hit_ratio if self.block_cache else 0.0
+        if key == "compaction-stats":
+            s = self.compaction_stats
+            return (
+                f"compactions={s.compactions} trivial_moves={s.trivial_moves}"
+                f" bytes_read={s.bytes_read} bytes_written={s.bytes_written}"
+                f" entries_dropped={s.entries_dropped} flushes={self.flush_count}"
+            )
+        if key == "levels":
+            lines = ["level  files  bytes"]
+            for level, files, size in self.level_summary():
+                lines.append(f"L{level:<5} {files:<6} {size}")
+            return "\n".join(lines)
+        raise InvalidArgumentError(f"unknown property {name!r}")
+
+    def level_summary(self) -> list[tuple[int, int, int]]:
+        """(level, file_count, bytes) per non-empty level."""
+        version = self.versions.current
+        return [
+            (level, version.num_files(level), version.level_bytes(level))
+            for level in range(self.options.num_levels)
+            if version.num_files(level)
+        ]
+
+    def approximate_size(self) -> int:
+        """Total SSTable bytes plus memtable payload."""
+        return self.versions.current.total_bytes() + self.memtable.approximate_memory_usage()

@@ -1,0 +1,124 @@
+"""Tuning knobs for the LSM engine.
+
+Defaults are scaled-down RocksDB defaults: the simulated stores used in
+tests and benchmarks hold megabytes, not terabytes, so write buffers and
+level targets shrink proportionally while preserving the *ratios* that shape
+LSM behaviour (level fanout 10, L0 trigger 4, 4 KB blocks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.bloom import BloomFilterPolicy
+
+NUM_LEVELS = 7
+
+
+@dataclass
+class Options:
+    """Engine configuration, shared by the core DB and all store variants."""
+
+    # Memtable / WAL
+    write_buffer_size: int = 1 << 20
+    """Bytes of memtable data before a flush is triggered."""
+
+    wal_bytes_per_sync: int = 0
+    """0 = sync the WAL on every write batch (full durability)."""
+
+    # SSTable format
+    block_size: int = 4096
+    """Target uncompressed size of a data block."""
+
+    block_restart_interval: int = 16
+    """Keys between restart points inside a block."""
+
+    bloom_bits_per_key: int = 10
+    """Bits per key for the per-table bloom filter (0 disables filters)."""
+
+    compression: str = "none"
+    """Data-block compression: "none" or "zlib". Compression shrinks cloud
+    bytes and egress at CPU cost; experiment E13 quantifies the trade."""
+
+    filter_partitioning: str = "table"
+    """"table" = one bloom filter over the whole table; "block" = one
+    filter per data block (RocksDB partitioned filters): a point lookup
+    probes only the candidate block's partition, rejecting absent keys
+    after the index without fetching the data block."""
+
+    # Compaction shape
+    compaction_style: str = "leveled"
+    """"leveled" (LevelDB/RocksDB default) or "universal" (tiered): see
+    :mod:`repro.lsm.universal` for the trade-off."""
+
+    level0_file_num_compaction_trigger: int = 4
+    """Number of L0 files/runs that triggers a compaction."""
+
+    universal_size_ratio: int = 20
+    """Universal rule 3: extend the merge while the next run is no larger
+    than (100 + this)% of the accumulated candidate size."""
+
+    universal_min_merge_width: int = 2
+    universal_max_size_amplification_percent: int = 200
+
+    max_bytes_for_level_base: int = 4 << 20
+    """Target size of L1; deeper levels grow by ``level_size_multiplier``."""
+
+    level_size_multiplier: int = 10
+
+    target_file_size_base: int = 1 << 20
+    """Compaction output files roll over at this size."""
+
+    num_levels: int = NUM_LEVELS
+
+    max_manifest_file_size: int = 256 << 10
+    """Rewrite (compact) the MANIFEST once its edit log exceeds this size;
+    0 disables rewriting."""
+
+    compaction_filter: object = None
+    """Optional ``f(user_key, value) -> bool`` (True = keep) applied during
+    compaction to entries no live snapshot needs. Enables TTL/GC policies.
+    Must be deterministic and idempotent: an entry the filter removes is
+    converted to a tombstone (or dropped outright at the key's base level),
+    and *older* shadowed versions of the key are judged at their own
+    compactions — so a filter that flip-flops would resurrect stale data."""
+
+    # Caching
+    block_cache_bytes: int = 8 << 20
+    """In-memory (DRAM) block cache budget; 0 disables it."""
+
+    # Misc
+    paranoid_checks: bool = True
+    """Verify block checksums on every read."""
+
+    filter_policy: BloomFilterPolicy = field(
+        default_factory=lambda: BloomFilterPolicy(bits_per_key=10)
+    )
+
+    def __post_init__(self) -> None:
+        if self.write_buffer_size <= 0:
+            raise ValueError("write_buffer_size must be positive")
+        if self.block_size < 64:
+            raise ValueError("block_size too small to hold a record")
+        if self.block_restart_interval < 1:
+            raise ValueError("block_restart_interval must be >= 1")
+        if self.num_levels < 2:
+            raise ValueError("need at least 2 levels")
+        if self.level_size_multiplier < 2:
+            raise ValueError("level_size_multiplier must be >= 2")
+        if self.compression not in ("none", "zlib"):
+            raise ValueError(f"unknown compression {self.compression!r}")
+        if self.compaction_style not in ("leveled", "universal"):
+            raise ValueError(f"unknown compaction_style {self.compaction_style!r}")
+        if self.filter_partitioning not in ("table", "block"):
+            raise ValueError(f"unknown filter_partitioning {self.filter_partitioning!r}")
+        if self.universal_min_merge_width < 2:
+            raise ValueError("universal_min_merge_width must be >= 2")
+        if self.bloom_bits_per_key:
+            self.filter_policy = BloomFilterPolicy(bits_per_key=self.bloom_bits_per_key)
+
+    def max_bytes_for_level(self, level: int) -> float:
+        """Size target for ``level`` (level 0 is count-triggered, not size)."""
+        if level < 1:
+            raise ValueError("level targets start at L1")
+        return self.max_bytes_for_level_base * self.level_size_multiplier ** (level - 1)

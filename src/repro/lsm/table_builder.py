@@ -1,0 +1,163 @@
+"""SSTable writer.
+
+Streams sorted internal-key/value pairs into data blocks, then appends the
+filter block, index block, and footer (see :mod:`repro.lsm.format` for the
+layout). Besides the table bytes, :meth:`TableBuilder.finish` returns
+:class:`TableProperties` including the per-block key ranges — the hook that
+RocksMash's compaction-aware cache layout uses to map heat from compaction
+input blocks onto output blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidArgumentError
+from repro.lsm.block import BlockBuilder
+from repro.lsm.format import (
+    FILTER_WHOLE_TABLE,
+    BlockHandle,
+    Footer,
+    encode_handle,
+    encode_partitioned_filter,
+    seal_block,
+)
+from repro.lsm.options import Options
+from repro.storage.env import WritableFile
+from repro.util.encoding import compare_internal, extract_user_key
+
+
+@dataclass(frozen=True, slots=True)
+class BlockMeta:
+    """Key range and location of one data block within a table."""
+
+    first_key: bytes
+    last_key: bytes
+    handle: BlockHandle
+
+
+@dataclass
+class TableProperties:
+    """Summary returned by :meth:`TableBuilder.finish`."""
+
+    file_size: int = 0
+    num_entries: int = 0
+    smallest_key: bytes = b""
+    largest_key: bytes = b""
+    data_bytes: int = 0
+    index_bytes: int = 0
+    filter_bytes: int = 0
+    blocks: list[BlockMeta] = field(default_factory=list)
+
+    @property
+    def metadata_bytes(self) -> int:
+        """Bytes a reader must hold to serve point lookups (index + filter)."""
+        return self.index_bytes + self.filter_bytes
+
+
+class TableBuilder:
+    """Builds one SSTable onto a writable file."""
+
+    def __init__(self, options: Options, file: WritableFile) -> None:
+        self.options = options
+        self._file = file
+        self._data_block = BlockBuilder(options.block_restart_interval)
+        self._offset = 0
+        self._props = TableProperties()
+        self._block_first_key: bytes | None = None
+        self._last_key: bytes | None = None
+        self._filter_keys: list[bytes] = []
+        self._block_filter_keys: list[bytes] = []
+        self._partition_filters: list[bytes] = []
+        self._finished = False
+
+    @property
+    def num_entries(self) -> int:
+        return self._props.num_entries
+
+    @property
+    def estimated_size(self) -> int:
+        return self._offset + self._data_block.current_size_estimate()
+
+    def add(self, key: bytes, value: bytes) -> None:
+        """Append an entry; internal keys must be strictly increasing."""
+        if self._finished:
+            raise InvalidArgumentError("add() after finish()")
+        if self._last_key is not None and compare_internal(self._last_key, key) >= 0:
+            raise InvalidArgumentError("keys added out of order")
+        if self._block_first_key is None:
+            self._block_first_key = key
+        if self._props.num_entries == 0:
+            self._props.smallest_key = key
+        self._data_block.add(key, value)
+        user_key = extract_user_key(key)
+        self._filter_keys.append(user_key)
+        self._block_filter_keys.append(user_key)
+        self._last_key = key
+        self._props.num_entries += 1
+        self._props.largest_key = key
+        if self._data_block.current_size_estimate() >= self.options.block_size:
+            self._flush_data_block()
+
+    def _write_raw_block(self, payload: bytes, *, compression: str = "none") -> BlockHandle:
+        from repro.lsm.format import BLOCK_TRAILER_SIZE
+
+        sealed = seal_block(payload, compression=compression)
+        handle = BlockHandle(self._offset, len(sealed) - BLOCK_TRAILER_SIZE)
+        self._file.append(sealed)
+        self._offset += len(sealed)
+        return handle
+
+    def _flush_data_block(self) -> None:
+        if self._data_block.empty():
+            return
+        payload = self._data_block.finish()
+        handle = self._write_raw_block(payload, compression=self.options.compression)
+        assert self._block_first_key is not None and self._last_key is not None
+        self._props.blocks.append(
+            BlockMeta(self._block_first_key, self._last_key, handle)
+        )
+        self._props.data_bytes += len(payload)
+        self._data_block.reset()
+        self._block_first_key = None
+        if self.options.filter_partitioning == "block" and self.options.bloom_bits_per_key > 0:
+            self._partition_filters.append(
+                self.options.filter_policy.create_filter(self._block_filter_keys)
+            )
+        self._block_filter_keys = []
+
+    def finish(self) -> TableProperties:
+        """Flush remaining data, write filter/index/footer, close the file."""
+        if self._finished:
+            raise InvalidArgumentError("finish() called twice")
+        self._flush_data_block()
+        if not self._props.blocks:
+            raise InvalidArgumentError("cannot finish an empty table")
+
+        # Filter block: whole-table bloom filter, or one per data block.
+        if self.options.bloom_bits_per_key <= 0:
+            filter_payload = b""
+        elif self.options.filter_partitioning == "block":
+            filter_payload = encode_partitioned_filter(self._partition_filters)
+        else:
+            filter_payload = bytes([FILTER_WHOLE_TABLE]) + self.options.filter_policy.create_filter(
+                self._filter_keys
+            )
+        filter_handle = self._write_raw_block(filter_payload)
+        self._props.filter_bytes = len(filter_payload)
+
+        # Index block: last key of each data block -> handle.
+        index = BlockBuilder(restart_interval=1)  # full keys: binary-search friendly
+        for meta in self._props.blocks:
+            index.add(meta.last_key, encode_handle(meta.handle))
+        index_payload = index.finish()
+        index_handle = self._write_raw_block(index_payload)
+        self._props.index_bytes = len(index_payload)
+
+        footer = Footer(filter_handle, index_handle).encode()
+        self._file.append(footer)
+        self._offset += len(footer)
+        self._props.file_size = self._offset
+        self._file.close()
+        self._finished = True
+        return self._props

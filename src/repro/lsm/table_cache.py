@@ -1,0 +1,59 @@
+"""Table cache: open SSTable readers, keyed by file number.
+
+Opening a table costs real I/O (footer + index + filter reads), so readers
+are kept open for the life of the file. The cache also owns the *loader
+wrapper* hook: store variants (DRAM block cache, RocksMash persistent
+cache) wrap the direct block loader to intercept every block fetch.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.lsm.format import table_file_name
+from repro.lsm.options import Options
+from repro.lsm.table_reader import BlockLoader, TableReader, direct_block_loader
+from repro.storage.env import Env, RandomAccessFile
+
+# Given (file_name, file, next_loader) return the loader actually used.
+LoaderWrapper = Callable[[str, RandomAccessFile, BlockLoader], BlockLoader]
+
+
+class TableCache:
+    """Lazily opens and retains TableReaders for live SSTables."""
+
+    def __init__(
+        self,
+        env: Env,
+        prefix: str,
+        options: Options,
+        *,
+        loader_wrapper: LoaderWrapper | None = None,
+    ) -> None:
+        self.env = env
+        self.prefix = prefix
+        self.options = options
+        self.loader_wrapper = loader_wrapper
+        self._readers: dict[int, TableReader] = {}
+
+    def get_reader(self, number: int) -> TableReader:
+        reader = self._readers.get(number)
+        if reader is None:
+            name = table_file_name(self.prefix, number)
+            file = self.env.new_random_access_file(name)
+            loader = direct_block_loader(file, verify=self.options.paranoid_checks)
+            if self.loader_wrapper is not None:
+                loader = self.loader_wrapper(name, file, loader)
+            reader = TableReader(self.options, file, block_loader=loader)
+            self._readers[number] = reader
+        return reader
+
+    def evict(self, number: int) -> None:
+        """Forget a deleted table's reader."""
+        self._readers.pop(number, None)
+
+    def clear(self) -> None:
+        self._readers.clear()
+
+    def __len__(self) -> int:
+        return len(self._readers)

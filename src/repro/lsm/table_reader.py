@@ -1,0 +1,178 @@
+"""SSTable reader.
+
+Opens a table through the Env's :class:`RandomAccessFile` — which may sit on
+the local device *or* the cloud store — and serves point lookups and range
+iteration with per-block ranged reads. Every block fetch funnels through a
+pluggable :class:`BlockLoader`, the integration point where RocksMash's
+persistent cache (and the plain DRAM block cache) intercept reads.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from repro.errors import CorruptionError
+from repro.lsm.block import Block
+from repro.lsm.format import (
+    BLOCK_TRAILER_SIZE,
+    FOOTER_SIZE,
+    BlockHandle,
+    Footer,
+    decode_handle,
+    unseal_block,
+)
+from repro.lsm.options import Options
+from repro.storage.env import RandomAccessFile
+from repro.util.bloom import BloomFilterPolicy
+from repro.util.encoding import compare_internal, extract_user_key
+
+# (file_name, handle, kind) -> raw block payload. kind in {data, index, filter}.
+BlockLoader = Callable[[str, BlockHandle, str], bytes]
+
+
+def direct_block_loader(file: RandomAccessFile, *, verify: bool = True) -> BlockLoader:
+    """The default loader: a ranged read of payload + CRC trailer."""
+
+    def load(_name: str, handle: BlockHandle, _kind: str) -> bytes:
+        raw = file.read(handle.offset, handle.size + BLOCK_TRAILER_SIZE)
+        if len(raw) != handle.size + BLOCK_TRAILER_SIZE:
+            raise CorruptionError(
+                f"short block read: wanted {handle.size + BLOCK_TRAILER_SIZE},"
+                f" got {len(raw)}"
+            )
+        return unseal_block(raw, verify=verify)
+
+    return load
+
+
+class TableReader:
+    """Random access into one immutable SSTable."""
+
+    def __init__(
+        self,
+        options: Options,
+        file: RandomAccessFile,
+        *,
+        block_loader: BlockLoader | None = None,
+    ) -> None:
+        self.options = options
+        self.file = file
+        self.name = file.name
+        self._loader = block_loader or direct_block_loader(
+            file, verify=options.paranoid_checks
+        )
+        size = file.size()
+        if size < FOOTER_SIZE:
+            raise CorruptionError(f"table {self.name} smaller than footer")
+        footer = Footer.decode(file.read(size - FOOTER_SIZE, FOOTER_SIZE))
+        self.footer = footer
+        self._index = Block(
+            self._loader(self.name, footer.index_handle, "index"), compare_internal
+        )
+        self._filter: bytes | None = None
+        self._partitions: list[bytes] | None = None
+        self._block_ordinals: dict[int, int] = {}
+        if footer.filter_handle.size > 0:
+            payload = self._loader(self.name, footer.filter_handle, "filter")
+            self._parse_filter(payload)
+
+    def _parse_filter(self, payload: bytes) -> None:
+        from repro.lsm.format import (
+            FILTER_PARTITIONED,
+            FILTER_WHOLE_TABLE,
+            decode_partitioned_filter,
+        )
+
+        if not payload:
+            return
+        tag = payload[0]
+        if tag == FILTER_WHOLE_TABLE:
+            self._filter = payload[1:]
+        elif tag == FILTER_PARTITIONED:
+            self._partitions = decode_partitioned_filter(payload)
+            for ordinal, (_key, handle_bytes) in enumerate(self._index):
+                handle, _ = decode_handle(handle_bytes)
+                self._block_ordinals[handle.offset] = ordinal
+        else:
+            raise CorruptionError(f"unknown filter-block tag {tag:#x}")
+
+    # -- lookups ---------------------------------------------------------
+
+    def may_contain(self, user_key: bytes) -> bool:
+        """Bloom-filter probe; False means the key is definitely absent.
+
+        With partitioned filters a whole-table answer would require probing
+        every partition, so this conservatively returns True; the per-block
+        probe happens inside :meth:`get`.
+        """
+        if self._filter is None:
+            return True
+        return BloomFilterPolicy.key_may_match(user_key, self._filter)
+
+    def _partition_may_contain(self, user_key: bytes, handle: BlockHandle) -> bool:
+        if self._partitions is None:
+            return True
+        ordinal = self._block_ordinals.get(handle.offset)
+        if ordinal is None or ordinal >= len(self._partitions):
+            return True
+        return BloomFilterPolicy.key_may_match(user_key, self._partitions[ordinal])
+
+    def _load_data_block(self, handle: BlockHandle) -> Block:
+        return Block(self._loader(self.name, handle, "data"), compare_internal)
+
+    def get(self, target: bytes) -> tuple[bytes, bytes] | None:
+        """First entry with internal key >= ``target``, or None.
+
+        The caller (DB/version) decides whether the returned entry's user
+        key matches and whether it is a value or tombstone.
+        """
+        user_key = extract_user_key(target)
+        if not self.may_contain(user_key):
+            return None
+        for index_key, handle_bytes in self._index.seek(target):
+            handle, _ = decode_handle(handle_bytes)
+            if not self._partition_may_contain(user_key, handle):
+                # The candidate block definitely lacks the key; any entry it
+                # would return belongs to a different user key anyway.
+                return None
+            block = self._load_data_block(handle)
+            for key, value in block.seek(target):
+                return key, value
+            # Target sorts after every entry of this block (can happen when
+            # target > block's last key only via index separator equality);
+            # fall through to the next index entry.
+            _ = index_key
+        return None
+
+    # -- iteration ----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[tuple[bytes, bytes]]:
+        """All entries in internal-key order."""
+        for _, handle_bytes in self._index:
+            handle, _ = decode_handle(handle_bytes)
+            yield from self._load_data_block(handle)
+
+    def reverse_iter(self) -> Iterator[tuple[bytes, bytes]]:
+        """All entries in *descending* internal-key order.
+
+        Blocks are visited back to front; each block's entries (forward
+        prefix-compressed) are materialized and reversed — O(one block) of
+        memory.
+        """
+        index_entries = list(self._index)
+        for _, handle_bytes in reversed(index_entries):
+            handle, _ = decode_handle(handle_bytes)
+            block_entries = list(self._load_data_block(handle))
+            yield from reversed(block_entries)
+
+    def seek(self, target: bytes) -> Iterator[tuple[bytes, bytes]]:
+        """Entries with internal key >= ``target`` in order."""
+        first_block = True
+        for _, handle_bytes in self._index.seek(target):
+            handle, _ = decode_handle(handle_bytes)
+            block = self._load_data_block(handle)
+            if first_block:
+                yield from block.seek(target)
+                first_block = False
+            else:
+                yield from block

@@ -1,0 +1,119 @@
+"""Universal (tiered) compaction — the alternative to leveled compaction.
+
+RocksDB's universal style trades read amplification for write
+amplification: data lives in *sorted runs* (here: L0 files, newest first,
+plus one optional bottom level) and compactions merge the **newest
+contiguous prefix** of runs. Because any merge output replaces only the
+newest runs, it is newer than every remaining run, so the engine's
+L0-ordering invariant ("higher file number ⊇ newer data") is preserved and
+the read path needs no changes.
+
+Picking rules (simplified from RocksDB):
+
+1. No compaction until there are ``level0_file_num_compaction_trigger``
+   runs.
+2. **Space amplification**: if the runs outside the bottom level exceed
+   ``universal_max_size_amplification_percent`` of the bottom level's size
+   (or there is no bottom level and twice the trigger has accumulated),
+   merge *everything* into the bottom level — the only merge allowed to
+   drop tombstones.
+3. **Size ratio**: otherwise greedily extend the candidate set from the
+   newest run while the next (older) run is no larger than
+   ``(100 + universal_size_ratio) %`` of the accumulated size.
+4. Fall back to merging the newest ``trigger`` runs ("width" merge).
+
+Partial merges output back to L0 and must keep tombstones (an older run or
+the bottom level may still hold shadowed values).
+
+Interaction with RocksMash placement: young runs (L0) are local; full
+merges land on the bottom level, which placement demotes to the cloud —
+tiered compaction naturally maps onto tiered storage.
+"""
+
+from __future__ import annotations
+
+from repro.lsm.compaction import Compaction
+from repro.lsm.options import Options
+from repro.lsm.version import FileMetaData, Version
+
+
+class UniversalCompactionPicker:
+    """Chooses tiered merges; drop-in for :class:`CompactionPicker`."""
+
+    def __init__(self, options: Options) -> None:
+        self.options = options
+
+    @property
+    def bottom_level(self) -> int:
+        return self.options.num_levels - 1
+
+    def _runs_newest_first(self, version: Version) -> list[FileMetaData]:
+        return sorted(version.files[0], key=lambda m: -m.number)
+
+    def compute_scores(self, version: Version) -> list[tuple[float, int]]:
+        """Single score: run count against the trigger (for introspection)."""
+        runs = len(version.files[0])
+        trigger = self.options.level0_file_num_compaction_trigger
+        return [(runs / trigger, 0)]
+
+    def pick(self, version: Version) -> Compaction | None:
+        runs = self._runs_newest_first(version)
+        trigger = self.options.level0_file_num_compaction_trigger
+        if len(runs) < trigger:
+            return None
+        bottom = version.files[self.bottom_level]
+        run_bytes = sum(m.file_size for m in runs)
+        bottom_bytes = sum(m.file_size for m in bottom)
+
+        def full_compaction() -> Compaction:
+            return Compaction(
+                level=0,
+                inputs=runs,
+                overlaps=list(bottom),
+                score=float(len(runs)),
+                output_level_override=self.bottom_level,
+                allow_tombstone_drop=True,
+            )
+
+        # Rule 2 — space amplification: everything above the base (the
+        # bottom level, or the oldest run when no bottom exists yet) is
+        # potential duplication; merge fully when it exceeds the limit.
+        amp_limit = self.options.universal_max_size_amplification_percent
+        if bottom_bytes:
+            base, above = bottom_bytes, run_bytes
+        else:
+            base = runs[-1].file_size
+            above = run_bytes - base
+        if above * 100 > amp_limit * max(base, 1):
+            return full_compaction()
+
+        # Rule 3 — size ratio: extend from the newest run.
+        ratio = self.options.universal_size_ratio
+        selected = [runs[0]]
+        total = runs[0].file_size
+        for run in runs[1:]:
+            if run.file_size * 100 <= (100 + ratio) * total:
+                selected.append(run)
+                total += run.file_size
+            else:
+                break
+        # Rule 4 — width merge fallback.
+        if len(selected) < self.options.universal_min_merge_width:
+            selected = runs[:trigger]
+
+        # A merge that swallows every run *and* there is no bottom level yet
+        # is a full compaction: seed the bottom level, where tombstones can
+        # finally be dropped. (With a bottom level present, rewriting it on
+        # every run-cascade would cost leveled-style write amplification —
+        # only the space-amp rule may touch it.)
+        if len(selected) == len(runs) and not bottom:
+            return full_compaction()
+
+        return Compaction(
+            level=0,
+            inputs=selected,
+            overlaps=[],
+            score=len(runs) / trigger,
+            output_level_override=0,
+            allow_tombstone_drop=False,  # older runs may hold shadowed data
+        )

@@ -1,0 +1,388 @@
+"""LSM-aware persistent cache on the local device (the paper's core design).
+
+The cache has two regions, both persisted in append-only *slab* files on the
+local device so contents survive restarts:
+
+* **Metadata region** — the index and filter blocks of every cloud-resident
+  SSTable, *pinned* until the table is deleted. Payloads are packed
+  back-to-back in the slab (space-efficient: no per-file padding, no whole
+  files — compare the rocksdb-cloud baseline, which keeps entire table
+  files locally just to have their metadata nearby). With metadata always
+  local, a point miss costs at most one cloud round trip instead of three
+  (index + filter + data).
+* **Data region** — popular data blocks, LRU-evicted under a byte budget.
+  Admission and compaction-aware pre-warming are driven by
+  :mod:`repro.mash.layout`.
+
+Both regions use one self-describing record format, so a restart rebuilds
+the in-memory index by scanning the slabs (a corrupt/unsynced tail is
+truncated, like a WAL). Logical eviction leaves garbage in the slab; when
+garbage exceeds half the slab the live entries are rewritten ("slab
+compaction").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.errors import NotFoundError
+from repro.storage.local import LocalDevice
+from repro.util.crc import masked_crc32, verify_masked_crc32
+from repro.util.varint import decode_varint, encode_varint
+
+_KIND_META = 0x4D  # 'M' — pinned metadata block (index/filter)
+_KIND_DATA = 0x44  # 'D' — evictable data block
+_KIND_TOMB = 0x54  # 'T' — whole-file tombstone
+
+
+@dataclass(frozen=True)
+class PCacheConfig:
+    """Persistent-cache knobs."""
+
+    prefix: str = "pcache/"
+    data_budget_bytes: int = 4 << 20
+    """Byte budget for cached data-block payloads (metadata is unbounded —
+    it is small by construction and pinning it is the design point)."""
+
+    sync_every_n_appends: int = 16
+    """Fsync cadence for slab appends; a crash loses at most this many
+    unsynced admissions (harmless: it is a cache)."""
+
+    slab_garbage_ratio: float = 0.5
+    """Rewrite the slab when dead bytes exceed this fraction."""
+
+    admit_after_accesses: int = 1
+    """Admit a data block only on its Nth miss (1 = always admit). Values
+    above 1 make the cache frequency-biased ("popular blocks"), protecting
+    it from one-off reads at the cost of an extra cloud fetch per newly-hot
+    block."""
+
+    ghost_entries: int = 4096
+    """Bound on the admission counter map (FIFO-evicted)."""
+
+
+@dataclass
+class _Entry:
+    slab_offset: int  # offset of the payload within the slab file
+    length: int
+
+
+@dataclass
+class PCacheStats:
+    meta_hits: int = 0
+    meta_misses: int = 0
+    data_hits: int = 0
+    data_misses: int = 0
+    admissions: int = 0
+    evictions: int = 0
+    slab_compactions: int = 0
+    recovered_entries: int = 0
+    admission_rejections: int = 0
+
+    @property
+    def data_hit_ratio(self) -> float:
+        total = self.data_hits + self.data_misses
+        return self.data_hits / total if total else 0.0
+
+
+def _encode_record(kind: int, name: bytes, block_offset: int, payload: bytes) -> tuple[bytes, int]:
+    """Serialize one slab record; returns (record_bytes, payload_pos_in_record)."""
+    body = bytearray()
+    body += encode_varint(len(name))
+    body += name
+    body += encode_varint(block_offset)
+    body += encode_varint(len(payload))
+    payload_pos = 1 + 4 + len(body)
+    body += payload
+    header = bytes([kind]) + masked_crc32(bytes(body)).to_bytes(4, "little")
+    return header + bytes(body), payload_pos
+
+
+class PersistentCache:
+    """The on-device persistent cache. Use :meth:`open` to (re)build one."""
+
+    SLAB = "cache.slab"
+
+    def __init__(self, device: LocalDevice, config: PCacheConfig | None = None) -> None:
+        self.device = device
+        self.config = config or PCacheConfig()
+        self.stats = PCacheStats()
+        self._slab_name = self.config.prefix + self.SLAB
+        self._meta: dict[tuple[str, str], _Entry] = {}
+        self._data: OrderedDict[tuple[str, int], _Entry] = OrderedDict()
+        self._slab_size = 0
+        self._live_bytes = 0
+        self._data_bytes = 0
+        self._meta_bytes = 0
+        self._pending_appends = 0
+        self._ghost: dict[tuple[str, int], int] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def open(cls, device: LocalDevice, config: PCacheConfig | None = None) -> "PersistentCache":
+        """Create a cache, recovering contents from an existing slab."""
+        cache = cls(device, config)
+        if device.exists(cache._slab_name):
+            cache._recover()
+        else:
+            device.create(cache._slab_name)
+            device.sync(cache._slab_name)
+        return cache
+
+    def _recover(self) -> None:
+        data = self.device.read(self._slab_name)
+        pos = 0
+        n = len(data)
+        valid_upto = 0
+        dropped: set[str] = set()
+        while pos + 5 <= n:
+            kind = data[pos]
+            stored_crc = int.from_bytes(data[pos + 1 : pos + 5], "little")
+            try:
+                body_start = pos + 5
+                name_len, cursor = decode_varint(data, body_start)
+                name = data[cursor : cursor + name_len].decode()
+                cursor += name_len
+                block_offset, cursor = decode_varint(data, cursor)
+                payload_len, cursor = decode_varint(data, cursor)
+                payload_start = cursor
+                end = payload_start + payload_len
+                if end > n:
+                    break
+                if not verify_masked_crc32(bytes(data[body_start:end]), stored_crc):
+                    break
+            except Exception:
+                break
+            if kind == _KIND_TOMB:
+                dropped.add(name)
+                self._forget_file(name)
+            elif kind == _KIND_META:
+                dropped.discard(name)
+                kind_str = "index" if block_offset == 0 else "filter"
+                self._index_meta(name, kind_str, _Entry(payload_start, payload_len))
+            elif kind == _KIND_DATA:
+                dropped.discard(name)
+                self._index_data(name, block_offset, _Entry(payload_start, payload_len))
+            pos = end
+            valid_upto = end
+        self._slab_size = valid_upto
+        self.stats.recovered_entries = len(self._meta) + len(self._data)
+        self._enforce_budget()
+        # A torn tail means the durable file may extend past valid_upto with
+        # garbage; rewriting the slab restores the clean-append invariant.
+        if valid_upto != n:
+            self._compact_slab()
+
+    def close(self) -> None:
+        self.sync()
+
+    # -- write plumbing ----------------------------------------------------------
+
+    def _append_record(self, kind: int, name: str, block_offset: int, payload: bytes) -> _Entry:
+        record, payload_pos = _encode_record(kind, name.encode(), block_offset, payload)
+        entry = _Entry(self._slab_size + payload_pos, len(payload))
+        self.device.append(self._slab_name, record)
+        self._slab_size += len(record)
+        self._pending_appends += 1
+        if self._pending_appends >= self.config.sync_every_n_appends:
+            self.sync()
+        return entry
+
+    def sync(self) -> None:
+        """Flush pending slab appends to durable storage."""
+        if self._pending_appends:
+            self.device.sync(self._slab_name)
+            self._pending_appends = 0
+        self._ghost: dict[tuple[str, int], int] = {}
+
+    # -- metadata region -------------------------------------------------------------
+
+    def put_meta(self, file_name: str, kind: str, payload: bytes) -> None:
+        """Pin an index ("index") or filter ("filter") block payload."""
+        if kind not in ("index", "filter"):
+            raise ValueError(f"unknown metadata kind {kind!r}")
+        if (file_name, kind) in self._meta:
+            return
+        block_offset = 0 if kind == "index" else 1  # kind disambiguator
+        entry = self._append_record(_KIND_META, file_name, block_offset, payload)
+        self._index_meta(file_name, kind, entry)
+        self.stats.admissions += 1
+
+    def _index_meta(self, file_name: str, kind: str, entry: _Entry) -> None:
+        old = self._meta.get((file_name, kind))
+        if old is not None:
+            self._live_bytes -= old.length
+            self._meta_bytes -= old.length
+        self._meta[(file_name, kind)] = entry
+        self._live_bytes += entry.length
+        self._meta_bytes += entry.length
+
+    def get_meta(self, file_name: str, kind: str) -> bytes | None:
+        entry = self._meta.get((file_name, kind))
+        if entry is None:
+            self.stats.meta_misses += 1
+            return None
+        self.stats.meta_hits += 1
+        return self._read_entry(entry)
+
+    # -- data region ------------------------------------------------------------------
+
+    def put_data(
+        self, file_name: str, block_offset: int, payload: bytes, *, force: bool = False
+    ) -> None:
+        """Admit a data block; may evict LRU victims to stay under budget.
+
+        With ``admit_after_accesses > 1`` a block must be offered that many
+        times before it is stored (frequency-biased admission); ``force``
+        bypasses the policy (used by compaction-aware pre-warming, whose
+        heat signal already proved popularity).
+        """
+        if len(payload) > self.config.data_budget_bytes:
+            return
+        key = (file_name, block_offset)
+        if key in self._data:
+            self._data.move_to_end(key)
+            return
+        if not force and self.config.admit_after_accesses > 1:
+            seen = self._ghost.get(key, 0) + 1
+            self._ghost[key] = seen
+            while len(self._ghost) > self.config.ghost_entries:
+                self._ghost.pop(next(iter(self._ghost)))
+            if seen < self.config.admit_after_accesses:
+                self.stats.admission_rejections += 1
+                return
+            self._ghost.pop(key, None)
+        entry = self._append_record(_KIND_DATA, file_name, block_offset, payload)
+        self._index_data(file_name, block_offset, entry)
+        self.stats.admissions += 1
+        self._enforce_budget()
+        self._maybe_compact_slab()
+
+    def _index_data(self, file_name: str, block_offset: int, entry: _Entry) -> None:
+        key = (file_name, block_offset)
+        old = self._data.pop(key, None)
+        if old is not None:
+            self._live_bytes -= old.length
+            self._data_bytes -= old.length
+        self._data[key] = entry
+        self._live_bytes += entry.length
+        self._data_bytes += entry.length
+
+    def get_data(self, file_name: str, block_offset: int) -> bytes | None:
+        key = (file_name, block_offset)
+        entry = self._data.get(key)
+        if entry is None:
+            self.stats.data_misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.stats.data_hits += 1
+        return self._read_entry(entry)
+
+    def contains_data(self, file_name: str, block_offset: int) -> bool:
+        """Presence check without touching LRU order or hit counters."""
+        return (file_name, block_offset) in self._data
+
+    def _read_entry(self, entry: _Entry) -> bytes:
+        # Unsynced appends are readable too (page cache semantics).
+        return self.device.read(self._slab_name, entry.slab_offset, entry.length)
+
+    # -- invalidation ------------------------------------------------------------------
+
+    def drop_file(self, file_name: str) -> None:
+        """Invalidate every block of a deleted SSTable (persistently)."""
+        if not self._has_file(file_name):
+            return
+        self._append_record(_KIND_TOMB, file_name, 0, b"")
+        self._forget_file(file_name)
+        self._maybe_compact_slab()
+
+    def _has_file(self, file_name: str) -> bool:
+        if any(name == file_name for name, _ in self._meta):
+            return True
+        return any(name == file_name for name, _ in self._data)
+
+    def _forget_file(self, file_name: str) -> None:
+        for key in [k for k in self._meta if k[0] == file_name]:
+            entry = self._meta.pop(key)
+            self._live_bytes -= entry.length
+            self._meta_bytes -= entry.length
+        for key in [k for k in self._data if k[0] == file_name]:
+            entry = self._data.pop(key)
+            self._live_bytes -= entry.length
+            self._data_bytes -= entry.length
+
+    # -- budget & slab hygiene -------------------------------------------------------------
+
+    def _enforce_budget(self) -> None:
+        while self._data_bytes > self.config.data_budget_bytes and self._data:
+            _, entry = self._data.popitem(last=False)
+            self._live_bytes -= entry.length
+            self._data_bytes -= entry.length
+            self.stats.evictions += 1
+
+    def _maybe_compact_slab(self) -> None:
+        garbage = self._slab_size - self._live_bytes
+        if self._slab_size < (64 << 10):
+            return
+        if garbage / self._slab_size <= self.config.slab_garbage_ratio:
+            return
+        self._compact_slab()
+
+    def _compact_slab(self) -> None:
+        """Rewrite live entries into a fresh slab, dropping garbage."""
+        self.sync()
+        live_meta = {
+            key: self._read_entry(entry) for key, entry in self._meta.items()
+        }
+        live_data = {
+            key: self._read_entry(entry) for key, entry in self._data.items()
+        }
+        try:
+            self.device.delete(self._slab_name)
+        except NotFoundError:
+            pass
+        self.device.create(self._slab_name)
+        self._slab_size = 0
+        self._live_bytes = 0
+        self._data_bytes = 0
+        self._meta_bytes = 0
+        meta_index: dict[tuple[str, str], _Entry] = {}
+        for (file_name, kind), payload in live_meta.items():
+            block_offset = 0 if kind == "index" else 1
+            meta_index[(file_name, kind)] = self._append_record(
+                _KIND_META, file_name, block_offset, payload
+            )
+        data_index: OrderedDict[tuple[str, int], _Entry] = OrderedDict()
+        for (file_name, block_offset), payload in live_data.items():
+            data_index[(file_name, block_offset)] = self._append_record(
+                _KIND_DATA, file_name, block_offset, payload
+            )
+        self._meta = meta_index
+        self._data = data_index
+        for entry in list(meta_index.values()) + list(data_index.values()):
+            self._live_bytes += entry.length
+        self._meta_bytes = sum(e.length for e in meta_index.values())
+        self._data_bytes = sum(e.length for e in data_index.values())
+        self.sync()
+        self.stats.slab_compactions += 1
+
+    # -- accounting -------------------------------------------------------------------------
+
+    @property
+    def meta_bytes(self) -> int:
+        """Pinned metadata payload bytes (the E5 space-efficiency metric)."""
+        return self._meta_bytes
+
+    @property
+    def data_bytes(self) -> int:
+        return self._data_bytes
+
+    @property
+    def slab_bytes(self) -> int:
+        """Physical slab footprint on the device (live + garbage)."""
+        return self._slab_size
+
+    def __len__(self) -> int:
+        return len(self._meta) + len(self._data)

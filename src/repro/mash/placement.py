@@ -1,0 +1,201 @@
+"""Hybrid data placement: which files live on local storage vs the cloud.
+
+RocksMash's placement rule (paper §design):
+
+* **Always local** — write-ahead log, MANIFEST, CURRENT: small, hot,
+  latency- and durability-critical metadata.
+* **Upper LSM levels local** — freshly flushed and recently compacted data
+  (L0 … ``cloud_level - 1``) stays on the fast device, because recency
+  correlates with access probability in LSM workloads.
+* **Lower levels cloud** — the bulk of the tree (typically >90 % of bytes)
+  is demoted to the object store as compaction pushes it down.
+
+Demotion happens *after* a compaction commits: output files landing at or
+below ``cloud_level`` are uploaded and their local copy dropped. An optional
+byte budget additionally demotes the coldest (deepest, largest-numbered)
+local tables when the device fills up — this is what experiment E11 sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lsm.compaction import CompactionEvent
+from repro.lsm.db import DB, FlushEvent
+from repro.lsm.format import table_file_name
+from repro.storage.env import CLOUD, LOCAL, HybridEnv
+
+
+@dataclass(frozen=True)
+class PlacementConfig:
+    """Placement policy knobs."""
+
+    cloud_level: int = 2
+    """First LSM level stored in the cloud (levels below it stay local)."""
+
+    local_bytes_budget: int | None = None
+    """Optional cap on local SSTable bytes; overflow demotes deepest-first."""
+
+    promotion_enabled: bool = False
+    """Promote hot cloud-resident tables back to the local device
+    (up-tiering). Requires ``local_bytes_budget``; promotions only use the
+    budget's headroom so they never fight the demotion path."""
+
+    promotion_heat_threshold: float = 8.0
+    """Minimum accumulated block heat for a file to qualify."""
+
+    promotion_headroom: float = 0.9
+    """Promotions stop once local bytes exceed this fraction of the budget."""
+
+    def __post_init__(self) -> None:
+        if self.cloud_level < 1:
+            raise ValueError("cloud_level must be >= 1 (L0 is always local)")
+        if not 0.0 < self.promotion_headroom <= 1.0:
+            raise ValueError("promotion_headroom must be in (0, 1]")
+        if self.promotion_enabled and self.local_bytes_budget is None:
+            raise ValueError("promotion requires local_bytes_budget")
+
+
+def make_router(prefix: str):
+    """HybridEnv router: every file is *born* local.
+
+    SSTables are always written locally first (fast flush/compaction) and
+    demoted by :class:`PlacementManager` afterwards; logs and manifests
+    never leave the local device.
+    """
+
+    def route(name: str) -> str:
+        return LOCAL
+
+    return route
+
+
+class PlacementManager:
+    """Subscribes to DB events and enforces the placement policy."""
+
+    def __init__(self, db: DB, env: HybridEnv, config: PlacementConfig) -> None:
+        self.db = db
+        self.env = env
+        self.config = config
+        self.demotions = 0
+        self.budget_demotions = 0
+        self.promotions = 0
+        db.listeners.on_flush.append(self._on_flush)
+        db.listeners.on_compaction.append(self._on_compaction)
+
+    # -- event handlers -------------------------------------------------
+
+    def _on_flush(self, event: FlushEvent) -> None:
+        # L0 output stays local; only the budget can push it out.
+        self._enforce_budget()
+
+    def _on_compaction(self, event: CompactionEvent) -> None:
+        if event.trivial_move:
+            # The file was relinked to ``output_level`` without a rewrite;
+            # demote it if it crossed the cloud boundary.
+            if event.output_level >= self.config.cloud_level:
+                for meta in event.input_files:
+                    self._demote(meta.number)
+            self._enforce_budget()
+            return
+        if event.output_level >= self.config.cloud_level:
+            for output in event.outputs:
+                self._demote(output.meta.number)
+        self._enforce_budget()
+
+    # -- mechanics ----------------------------------------------------------
+
+    def _demote(self, number: int) -> None:
+        name = table_file_name(self.db.prefix, number)
+        if not self.env.file_exists(name):
+            return  # already deleted by a later compaction
+        if self.env.tier_of(name) == CLOUD:
+            return
+        self.env.migrate(name, CLOUD)
+        self.demotions += 1
+        # The reader (if open) holds a local-tier file handle; reopen lazily.
+        self.db.table_cache.evict(number)
+
+    def _enforce_budget(self) -> None:
+        budget = self.config.local_bytes_budget
+        if budget is None:
+            return
+        # Demote deepest-level, then oldest (lowest-numbered) tables first:
+        # depth is the engine's own coldness signal.
+        while self.local_table_bytes() > budget:
+            victim = self._pick_budget_victim()
+            if victim is None:
+                return
+            self._demote(victim)
+            self.budget_demotions += 1
+
+    def _pick_budget_victim(self) -> int | None:
+        version = self.db.versions.current
+        for level in range(len(version.files) - 1, -1, -1):
+            for meta in version.files[level]:
+                name = table_file_name(self.db.prefix, meta.number)
+                if self.env.file_exists(name) and self.env.tier_of(name) == LOCAL:
+                    return meta.number
+        return None
+
+    # -- promotion (up-tiering) ---------------------------------------------------
+
+    def maybe_promote(self, heat_of_file) -> int:
+        """Promote the hottest cloud tables into the budget's headroom.
+
+        ``heat_of_file(name) -> float`` supplies access heat (typically
+        :meth:`BlockHeatTracker.file_heat`). Returns how many tables were
+        promoted. Demotion always wins ties: promotions never push local
+        usage past ``promotion_headroom * budget``.
+        """
+        config = self.config
+        if not config.promotion_enabled or config.local_bytes_budget is None:
+            return 0
+        ceiling = config.local_bytes_budget * config.promotion_headroom
+        candidates = []
+        for _level, meta in self.db.versions.current.all_files():
+            name = table_file_name(self.db.prefix, meta.number)
+            if not self.env.file_exists(name) or self.env.tier_of(name) != CLOUD:
+                continue
+            heat = heat_of_file(name)
+            if heat >= config.promotion_heat_threshold:
+                candidates.append((heat, meta))
+        candidates.sort(key=lambda item: -item[0])
+        promoted = 0
+        for _heat, meta in candidates:
+            if self.local_table_bytes() + meta.file_size > ceiling:
+                break
+            name = table_file_name(self.db.prefix, meta.number)
+            self.env.migrate(name, LOCAL)
+            self.db.table_cache.evict(meta.number)
+            self.promotions += 1
+            promoted += 1
+        return promoted
+
+    # -- accounting ------------------------------------------------------------
+
+    def local_table_bytes(self) -> int:
+        """SSTable bytes currently on the local tier."""
+        total = 0
+        for _, meta in self.db.versions.current.all_files():
+            name = table_file_name(self.db.prefix, meta.number)
+            if self.env.file_exists(name) and self.env.tier_of(name) == LOCAL:
+                total += meta.file_size
+        return total
+
+    def cloud_table_bytes(self) -> int:
+        total = 0
+        for _, meta in self.db.versions.current.all_files():
+            name = table_file_name(self.db.prefix, meta.number)
+            if self.env.file_exists(name) and self.env.tier_of(name) == CLOUD:
+                total += meta.file_size
+        return total
+
+    def tier_summary(self) -> dict[str, int]:
+        return {
+            "local_bytes": self.local_table_bytes(),
+            "cloud_bytes": self.cloud_table_bytes(),
+            "demotions": self.demotions,
+            "budget_demotions": self.budget_demotions,
+            "promotions": self.promotions,
+        }

@@ -1,0 +1,104 @@
+"""Sequential readahead for cloud-resident tables.
+
+Range scans walk a table's data blocks in order; fetching each block with
+its own ranged GET pays one cloud round trip per block, which makes scans
+RTT-bound. Like RocksDB's iterator readahead, :class:`ReadaheadBuffer`
+detects a sequential access pattern per file and fetches a large contiguous
+range in one request, serving subsequent blocks from the buffered bytes.
+
+Readahead-served blocks are *not* admitted to the persistent cache — a scan
+would otherwise flush the point-lookup working set (scan-resistant
+caching).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lsm.format import BLOCK_TRAILER_SIZE, BlockHandle, unseal_block
+from repro.storage.env import RandomAccessFile
+
+
+@dataclass
+class ReadaheadStats:
+    sequential_hits: int = 0
+    fetches: int = 0
+    fetched_bytes: int = 0
+
+
+class ReadaheadBuffer:
+    """Per-file sequential-read detector + prefetch buffer.
+
+    ``get(handle)`` returns the unsealed block payload when it can serve it
+    (buffered, or by issuing a readahead fetch after two sequential
+    accesses), else None — the caller falls back to its normal path.
+    """
+
+    INITIAL_READAHEAD = 4 << 10
+
+    def __init__(
+        self,
+        file: RandomAccessFile,
+        *,
+        readahead_bytes: int = 128 << 10,
+        verify: bool = True,
+    ) -> None:
+        if readahead_bytes <= 0:
+            raise ValueError("readahead_bytes must be positive")
+        self.file = file
+        self.readahead_bytes = readahead_bytes
+        self.verify = verify
+        self.stats = ReadaheadStats()
+        self._buffer = b""
+        self._buffer_base = -1
+        self._expected_offset = -1
+        self._streak = 0
+        # Adaptive sizing (RocksDB-style): start small so short scans are
+        # not penalized by overfetch, double on each consecutive fetch.
+        self._current_readahead = min(self.INITIAL_READAHEAD, readahead_bytes)
+
+    def _slice_from_buffer(self, handle: BlockHandle) -> bytes | None:
+        if self._buffer_base < 0:
+            return None
+        start = handle.offset - self._buffer_base
+        end = start + handle.size + BLOCK_TRAILER_SIZE
+        if start < 0 or end > len(self._buffer):
+            return None
+        return unseal_block(self._buffer[start:end], verify=self.verify)
+
+    def get(self, handle: BlockHandle) -> bytes | None:
+        """Serve a data-block read if it continues a sequential run.
+
+        A non-sequential access *discards* the buffer: the prefetched bytes
+        only live for the scan that triggered them (per-iterator semantics,
+        like RocksDB's prefetch buffer) — otherwise the buffer would act as
+        an unaccounted, never-evicted extra cache.
+        """
+        raw_len = handle.size + BLOCK_TRAILER_SIZE
+        sequential = handle.offset == self._expected_offset
+        self._expected_offset = handle.offset + raw_len
+        if not sequential:
+            self.invalidate()
+            return None
+        buffered = self._slice_from_buffer(handle)
+        if buffered is not None:
+            self.stats.sequential_hits += 1
+            return buffered
+        self._streak += 1
+        if self._streak < 2:
+            return None  # one coincidence is not a scan yet
+        # Established sequential pattern: fetch a range in one request,
+        # growing geometrically while the scan keeps going.
+        length = max(self._current_readahead, raw_len)
+        self._current_readahead = min(self._current_readahead * 2, self.readahead_bytes)
+        self._buffer = self.file.read(handle.offset, length)
+        self._buffer_base = handle.offset
+        self.stats.fetches += 1
+        self.stats.fetched_bytes += len(self._buffer)
+        return self._slice_from_buffer(handle)
+
+    def invalidate(self) -> None:
+        self._buffer = b""
+        self._buffer_base = -1
+        self._streak = 0
+        self._current_readahead = min(self.INITIAL_READAHEAD, self.readahead_bytes)

@@ -1,0 +1,476 @@
+"""RocksMash: the assembled hybrid store (the paper's system).
+
+Composition (each piece is a separately tested module):
+
+* :class:`MashDB` — the LSM engine with the WAL swapped for the sharded
+  extended WAL (:mod:`repro.mash.xwal`);
+* :class:`~repro.mash.placement.PlacementManager` — upper levels + all
+  logs/manifests local, lower levels demoted to the cloud;
+* :class:`~repro.mash.pcache.PersistentCache` — pinned metadata of
+  cloud-resident tables plus popular data blocks, on the local device;
+* :class:`~repro.mash.layout.BlockHeatTracker` — compaction-aware layouts:
+  output blocks inherit input heat and are pre-warmed into the persistent
+  cache *before* demotion, so compactions do not empty the cache.
+
+Block-fetch path for a cloud-resident table::
+
+    DRAM block cache → persistent cache → cloud ranged GET
+
+Use :meth:`RocksMashStore.create` for a fresh deployment and
+:meth:`RocksMashStore.reopen` to simulate a restart (optionally after a
+crash) over the same simulated devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.lsm.compaction import CompactionEvent
+from repro.lsm.db import DB, FlushEvent
+from repro.lsm.format import (
+    BLOCK_TRAILER_SIZE,
+    table_file_name,
+    unseal_block,
+)
+from repro.lsm.options import Options
+from repro.facade import StoreFacade
+from repro.mash.layout import BlockHeatTracker, LayoutConfig
+from repro.mash.pcache import PCacheConfig, PersistentCache
+from repro.mash.placement import PlacementConfig, PlacementManager, make_router
+from repro.mash.readahead import ReadaheadBuffer
+from repro.mash.xwal import XWalConfig, XWalReplayer, XWalWriter
+from repro.metrics.counters import CounterSet
+from repro.metrics.latency import LatencyHistogram
+from repro.sim.clock import SimClock, StopwatchRegion
+from repro.sim.latency import LatencyModel, cloud_object_storage, nvme_ssd
+from repro.storage.cloud import CloudObjectStore
+from repro.storage.cost import CostModel
+from repro.storage.env import CLOUD, CloudEnv, HybridEnv, LocalEnv
+from repro.storage.local import LocalDevice
+
+
+@dataclass
+class StoreConfig:
+    """Everything needed to stand up a RocksMash deployment."""
+
+    options: Options = field(default_factory=Options)
+    placement: PlacementConfig = field(default_factory=PlacementConfig)
+    pcache: PCacheConfig = field(default_factory=PCacheConfig)
+    layout: LayoutConfig = field(default_factory=LayoutConfig)
+    xwal: XWalConfig = field(default_factory=XWalConfig)
+    local_model: LatencyModel = field(default_factory=nvme_ssd)
+    cloud_model: LatencyModel = field(default_factory=cloud_object_storage)
+    cost_model: CostModel = field(default_factory=CostModel)
+    db_prefix: str = "db/"
+    local_capacity_bytes: int | None = None
+    scan_readahead_bytes: int = 128 << 10
+    """Sequential readahead for cloud-resident tables (0 disables); see
+    :mod:`repro.mash.readahead`."""
+
+    multi_get_parallelism: int = 8
+    """Concurrent cloud fetches per multi_get wave (1 = sequential)."""
+
+    cloud_error_rate: float = 0.0
+    """Probability each cloud request fails transiently (retried with
+    backoff); experiment E15 sweeps this for the reliability figure."""
+
+    cloud_fault_seed: int = 0
+
+    def small(self) -> "StoreConfig":
+        """Scaled-down engine thresholds for tests and quick experiments."""
+        return replace(
+            self,
+            options=Options(
+                write_buffer_size=4 << 10,
+                block_size=512,
+                max_bytes_for_level_base=16 << 10,
+                target_file_size_base=4 << 10,
+                block_cache_bytes=8 << 10,
+            ),
+            pcache=replace(self.pcache, data_budget_bytes=64 << 10),
+        )
+
+
+class MashDB(DB):
+    """DB with the extended WAL plugged into the WAL strategy hooks."""
+
+    def __init__(self, *args, xwal_config: XWalConfig, local_device: LocalDevice, **kw):
+        self._xwal_config = xwal_config
+        self._local_device = local_device
+        super().__init__(*args, **kw)
+
+    def _open_wal(self, number: int):
+        return XWalWriter(
+            self.env, self._local_device, self.prefix, number, self._xwal_config
+        )
+
+    def _replayer(self) -> XWalReplayer:
+        return XWalReplayer(self.env, self._local_device, self.prefix, self._xwal_config)
+
+    def _wal_file_names(self, number: int) -> list[str]:
+        return self._replayer().shard_file_names(number)
+
+    def _replay_wal(self, number: int) -> tuple[int, int]:
+        replayer = self._replayer()
+        max_seq = 0
+        applied = 0
+        for seq, value_type, key, value in replayer.replay(number):
+            self.memtable.add(seq, value_type, key, value)
+            max_seq = max(max_seq, seq)
+            applied += 1
+        self.last_recovery_corrupt_shards = replayer.corrupt_shards
+        return max_seq, applied
+
+    _WAL_KIND = "xlog"
+
+
+class RocksMashStore(StoreFacade):
+    """Public facade over the assembled system."""
+
+    name = "rocksmash"
+
+    def __init__(
+        self,
+        config: StoreConfig,
+        *,
+        clock: SimClock,
+        local_device: LocalDevice,
+        cloud_store: CloudObjectStore,
+        counters: CounterSet,
+    ) -> None:
+        """Internal wiring — use :meth:`create` / :meth:`reopen`."""
+        self.config = config
+        self.clock = clock
+        self.local_device = local_device
+        self.cloud_store = cloud_store
+        self.counters = counters
+        self.cost_model = config.cost_model
+        self.env = HybridEnv(
+            LocalEnv(local_device), CloudEnv(cloud_store), make_router(config.db_prefix)
+        )
+        self.pcache = PersistentCache.open(local_device, config.pcache)
+        self.heat = BlockHeatTracker(config.layout)
+        self.read_latency = LatencyHistogram()
+        self.write_latency = LatencyHistogram()
+
+        with StopwatchRegion(clock) as sw:
+            self.db = MashDB.open(
+                self.env,
+                config.db_prefix,
+                config.options,
+                loader_wrapper=self._pcache_loader_wrapper,
+                xwal_config=config.xwal,
+                local_device=local_device,
+            )
+        self.last_recovery_seconds = sw.elapsed
+
+        # Event order matters: the heat tracker must see compaction outputs
+        # (and pre-warm from their still-local files) before placement
+        # demotes them to the cloud.
+        self.db.listeners.on_flush.insert(0, self._on_flush)
+        self.db.listeners.on_compaction.insert(0, self._on_compaction)
+        self.db.listeners.on_table_delete.append(self._on_table_delete)
+        self.placement = PlacementManager(self.db, self.env, config.placement)
+        self.placement_pre_demote = self._pin_metadata
+        # Monkey-point: PlacementManager demotes via _demote; wrap it so the
+        # metadata of a table is pinned from its cheap local copy first.
+        original_demote = self.placement._demote
+
+        def demote_with_pin(number: int) -> None:
+            self._pin_metadata(table_file_name(config.db_prefix, number))
+            original_demote(number)
+
+        self.placement._demote = demote_with_pin
+
+        if config.placement.promotion_enabled:
+            # Re-evaluate up-tiering whenever the file topology changes;
+            # heat accumulated since the last change drives the decision.
+            self.db.listeners.on_version_change.append(
+                lambda: self.placement.maybe_promote(self.heat.file_heat)
+            )
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def create(cls, config: StoreConfig | None = None, *, clock: SimClock | None = None) -> "RocksMashStore":
+        """Stand up a fresh deployment on fresh simulated devices."""
+        config = config or StoreConfig()
+        clock = clock or SimClock()
+        counters = CounterSet()
+        local_device = LocalDevice(
+            clock,
+            config.local_model,
+            capacity_bytes=config.local_capacity_bytes,
+            counters=counters,
+        )
+        faults = None
+        if config.cloud_error_rate > 0:
+            from repro.sim.failure import FaultInjector
+
+            faults = FaultInjector(
+                error_rate=config.cloud_error_rate, seed=config.cloud_fault_seed
+            )
+        cloud = CloudObjectStore(
+            clock, config.cloud_model, counters=counters, faults=faults
+        )
+        return cls(
+            config,
+            clock=clock,
+            local_device=local_device,
+            cloud_store=cloud,
+            counters=counters,
+        )
+
+    @classmethod
+    def at_directory(
+        cls,
+        path,
+        config: StoreConfig | None = None,
+        *,
+        clock: SimClock | None = None,
+    ) -> "RocksMashStore":
+        """Open (or create) a deployment persisted under a host directory.
+
+        ``<path>/local`` backs the simulated local device and
+        ``<path>/cloud`` the simulated object store, so the whole store —
+        data, WAL, persistent cache, checkpoints — survives *process*
+        restarts: calling ``at_directory`` again on the same path recovers
+        it. Timing still comes from the simulated clock.
+        """
+        from pathlib import Path
+
+        from repro.storage.diskfile import (
+            DirectoryBackedDevice,
+            directory_backed_object_store,
+        )
+
+        config = config or StoreConfig()
+        clock = clock or SimClock()
+        counters = CounterSet()
+        root = Path(path)
+        local_device = DirectoryBackedDevice(
+            root / "local",
+            clock,
+            config.local_model,
+            capacity_bytes=config.local_capacity_bytes,
+            counters=counters,
+        )
+        cloud = directory_backed_object_store(
+            root / "cloud", clock, config.cloud_model, counters=counters
+        )
+        return cls(
+            config,
+            clock=clock,
+            local_device=local_device,
+            cloud_store=cloud,
+            counters=counters,
+        )
+
+    def reopen(self, *, crash: bool = False) -> "RocksMashStore":
+        """Simulate a restart over the same devices.
+
+        ``crash=True`` drops unsynced local state first (power failure);
+        otherwise the store is closed cleanly. Returns the new instance —
+        the old one must not be used afterwards. ``last_recovery_seconds``
+        on the result reports the simulated recovery time.
+        """
+        if crash:
+            self.local_device.crash()
+        else:
+            self.close()
+        return type(self)(
+            self.config,
+            clock=self.clock,
+            local_device=self.local_device,
+            cloud_store=self.cloud_store,
+            counters=self.counters,
+        )
+
+    def close(self) -> None:
+        self.pcache.close()
+        self.db.close()
+
+    # -- batched reads with modelled parallel cloud fetches --------------------
+
+    def multi_get(self, keys, *, snapshot=None):
+        """Batched point lookups with concurrent cloud fetches.
+
+        Keys are served in waves of ``multi_get_parallelism``; within a
+        wave each key's I/O is charged to a forked child clock and the
+        wave joins on the slowest key — modelling the parallel ranged GETs
+        a real implementation issues (cache lookups and updates still
+        happen, so warm keys cost nothing extra).
+        """
+        width = max(1, self.config.multi_get_parallelism)
+        if width == 1 or len(keys) <= 1:
+            return super().multi_get(keys, snapshot=snapshot)
+        results: dict[bytes, bytes | None] = {}
+        with StopwatchRegion(self.clock) as sw:
+            for start in range(0, len(keys), width):
+                wave = keys[start : start + width]
+                children = self.clock.fork(len(wave))
+                for child, key in zip(children, wave):
+                    self.local_device.clock = child
+                    self.cloud_store.clock = child
+                    try:
+                        results[key] = self.db.get(key, snapshot=snapshot)
+                    finally:
+                        self.local_device.clock = self.clock
+                        self.cloud_store.clock = self.clock
+                self.clock.join(children)
+        self.read_latency.record(sw.elapsed)
+        return results
+
+    # -- block-fetch interception ------------------------------------------------
+
+    def _pcache_loader_wrapper(self, name, file, next_loader):
+        readahead = None
+        if self.config.scan_readahead_bytes > 0:
+            readahead = ReadaheadBuffer(
+                file,
+                readahead_bytes=self.config.scan_readahead_bytes,
+                verify=self.config.options.paranoid_checks,
+            )
+
+        def load(file_name: str, handle, kind: str) -> bytes:
+            if kind in ("index", "filter"):
+                cached = self.pcache.get_meta(file_name, kind)
+                if cached is not None:
+                    return cached
+                payload = next_loader(file_name, handle, kind)
+                if self._is_cloud_file(file_name):
+                    self.pcache.put_meta(file_name, kind, payload)
+                return payload
+            # data block
+            self.heat.record_access(file_name, handle.offset)
+            cached = self.pcache.get_data(file_name, handle.offset)
+            if cached is not None:
+                return cached
+            if readahead is not None and self._is_cloud_file(file_name):
+                payload = readahead.get(handle)
+                if payload is not None:
+                    # Scan-resistant: readahead blocks skip pcache admission.
+                    return payload
+            payload = next_loader(file_name, handle, kind)
+            if self._is_cloud_file(file_name):
+                self.pcache.put_data(file_name, handle.offset, payload)
+            return payload
+
+        return load
+
+    def _is_cloud_file(self, file_name: str) -> bool:
+        try:
+            return self.env.tier_of(file_name) == CLOUD
+        except Exception:
+            return False
+
+    # -- event handlers -----------------------------------------------------------
+
+    def _on_flush(self, event: FlushEvent) -> None:
+        name = table_file_name(self.config.db_prefix, event.meta.number)
+        self.heat.register_file(name, event.properties.blocks)
+
+    def _on_compaction(self, event: CompactionEvent) -> None:
+        if event.trivial_move:
+            return
+        name_of = lambda number: table_file_name(self.config.db_prefix, number)
+        for output in event.outputs:
+            self.heat.register_file(name_of(output.meta.number), output.properties.blocks)
+        plan = self.heat.plan_inheritance(event, name_of)
+        for out_name, block, _heat in plan:
+            payload = self._read_local_block(out_name, block.handle)
+            if payload is not None:
+                self.pcache.put_data(
+                    out_name, block.handle.offset, payload, force=True
+                )
+                self.heat.prewarmed_blocks += 1
+            # Pre-warmed blocks imply the table will be demoted; pin its
+            # metadata eagerly too (idempotent).
+        if event.output_level >= self.config.placement.cloud_level:
+            for output in event.outputs:
+                self._pin_metadata(name_of(output.meta.number))
+
+    def _read_local_block(self, file_name: str, handle) -> bytes | None:
+        if not self.env.file_exists(file_name):
+            return None
+        file = self.env.new_random_access_file(file_name)
+        raw = file.read(handle.offset, handle.size + BLOCK_TRAILER_SIZE)
+        if len(raw) != handle.size + BLOCK_TRAILER_SIZE:
+            return None
+        return unseal_block(raw, verify=False)
+
+    def _pin_metadata(self, file_name: str) -> None:
+        """Pin a table's index + filter blocks from its (local) copy."""
+        if not self.env.file_exists(file_name):
+            return
+        if (
+            self.pcache.get_meta(file_name, "index") is not None
+            and self.pcache.get_meta(file_name, "filter") is not None
+        ):
+            return
+        from repro.lsm.format import FOOTER_SIZE, Footer
+
+        file = self.env.new_random_access_file(file_name)
+        size = file.size()
+        footer = Footer.decode(file.read(size - FOOTER_SIZE, FOOTER_SIZE))
+        for kind, handle in (("index", footer.index_handle), ("filter", footer.filter_handle)):
+            if handle.size == 0:
+                continue
+            raw = file.read(handle.offset, handle.size + BLOCK_TRAILER_SIZE)
+            self.pcache.put_meta(file_name, kind, unseal_block(raw, verify=False))
+
+    def _on_table_delete(self, file_name: str) -> None:
+        self.pcache.drop_file(file_name)
+        self.heat.forget_file(file_name)
+
+    # -- reporting -----------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Human-readable operational dashboard (tiering, caches, engine)."""
+        tiers = self.placement.tier_summary()
+        pc = self.pcache.stats
+        cs = self.db.compaction_stats
+        lines = [
+            f"RocksMash store @ {self.config.db_prefix!r}  (simulated t={self.clock.now:.3f}s)",
+            "-- tiering --",
+            f"  local SSTables : {tiers['local_bytes']:>12,} B",
+            f"  cloud SSTables : {tiers['cloud_bytes']:>12,} B"
+            f"   (demotions={tiers['demotions']}, budget={tiers['budget_demotions']},"
+            f" promotions={tiers['promotions']})",
+            "-- persistent cache --",
+            f"  pinned metadata: {self.pcache.meta_bytes:>12,} B",
+            f"  data blocks    : {self.pcache.data_bytes:>12,} B"
+            f"   (hit ratio {pc.data_hit_ratio:.3f}, evictions {pc.evictions},"
+            f" prewarmed {self.heat.prewarmed_blocks})",
+            f"  slab footprint : {self.pcache.slab_bytes:>12,} B"
+            f"   ({pc.slab_compactions} slab compactions)",
+            "-- engine --",
+            f"  {self.db.get_property('repro.compaction-stats')}",
+            f"  memtable {self.db.get_property('repro.approximate-memory-usage'):,} B,"
+            f" last_seq {self.db.get_property('repro.last-sequence')},"
+            f" manifest {self.db.get_property('repro.manifest-bytes'):,} B",
+            "-- cloud traffic --",
+            f"  GET {self.counters.get('cloud.get_ops'):,} ops"
+            f" / {self.counters.get('cloud.get_bytes'):,} B;"
+            f" PUT {self.counters.get('cloud.put_ops'):,} ops"
+            f" / {self.counters.get('cloud.put_bytes'):,} B;"
+            f" retries {self.counters.get('cloud.retries'):,}",
+        ]
+        return "\n".join(lines)
+
+    def stats(self) -> dict:
+        """Consolidated statistics for experiment tables."""
+        return {
+            "local_bytes": self.local_bytes(),
+            "cloud_bytes": self.cloud_bytes(),
+            "pcache_meta_bytes": self.pcache.meta_bytes,
+            "pcache_data_bytes": self.pcache.data_bytes,
+            "pcache_data_hit_ratio": self.pcache.stats.data_hit_ratio,
+            "prewarmed_blocks": self.heat.prewarmed_blocks,
+            "demotions": self.placement.demotions,
+            "compactions": self.db.compaction_stats.compactions,
+            "trivial_moves": self.db.compaction_stats.trivial_moves,
+            "cloud_get_ops": self.counters.get("cloud.get_ops"),
+            "cloud_put_ops": self.counters.get("cloud.put_ops"),
+            "read_p99": self.read_latency.percentile(99),
+        }

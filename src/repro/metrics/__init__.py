@@ -1,0 +1,6 @@
+"""Metrics: counters and latency histograms used by stores and benchmarks."""
+
+from repro.metrics.counters import CounterSet
+from repro.metrics.latency import LatencyHistogram
+
+__all__ = ["CounterSet", "LatencyHistogram"]

@@ -1,0 +1,77 @@
+"""Deterministic simulated clock.
+
+All device "performance" in this reproduction is virtual time charged to a
+:class:`SimClock`. Operations call :meth:`SimClock.advance` with the modelled
+duration of an I/O; experiment harnesses read :attr:`SimClock.now` before and
+after a workload to compute simulated throughput and latency.
+
+Modelled parallelism uses *fork/join*: :meth:`fork` creates child clocks
+that start at the parent's current time and accumulate independently;
+:meth:`join` advances the parent to the **latest** child time. This is how
+the extended WAL's parallel recovery and concurrent cloud fetches are timed
+without real threads, keeping every figure deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimClock:
+    """A monotonically advancing virtual clock measured in seconds."""
+
+    now: float = 0.0
+    _epoch_listeners: list = field(default_factory=list, repr=False)
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by a non-negative duration; returns new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative {seconds}")
+        self.now += seconds
+        return self.now
+
+    def fork(self, n: int) -> list["SimClock"]:
+        """Create ``n`` child clocks starting at the current time."""
+        if n < 1:
+            raise ValueError("fork requires at least one child")
+        return [SimClock(now=self.now) for _ in range(n)]
+
+    def join(self, children: list["SimClock"]) -> float:
+        """Advance this clock to the latest child time (barrier semantics).
+
+        Children that never advanced leave the parent unchanged. It is an
+        error for a child to be behind the fork point (clocks never rewind).
+        """
+        if not children:
+            return self.now
+        latest = max(child.now for child in children)
+        if latest < self.now:
+            raise ValueError("child clock is behind parent; clocks cannot rewind")
+        self.now = latest
+        return self.now
+
+
+class StopwatchRegion:
+    """Context manager measuring elapsed *simulated* time over a region.
+
+    Example::
+
+        with StopwatchRegion(clock) as sw:
+            db.get(b"key")
+        latency = sw.elapsed
+    """
+
+    __slots__ = ("_clock", "_start", "elapsed")
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "StopwatchRegion":
+        self._start = self._clock.now
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed = self._clock.now - self._start

@@ -1,0 +1,70 @@
+"""Fault injection for simulated devices.
+
+Two failure modes matter for the paper's reliability story:
+
+* **Transient cloud errors** — an object-store request fails (throttling,
+  5xx) and must be retried. :class:`FaultInjector` fails a configurable
+  fraction of operations with :class:`~repro.errors.IOErrorSim`; callers
+  (the cloud store) retry with capped exponential backoff charged to the
+  simulated clock.
+* **Crash** — a process stops between two operations. Simulated by
+  discarding unsynced buffered state; devices expose ``crash()`` which drops
+  writes that were never ``sync``'d, letting recovery tests assert that every
+  *acknowledged* write survives.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import IOErrorSim
+
+
+@dataclass
+class FaultInjector:
+    """Deterministically injects failures into device operations.
+
+    Attributes:
+        error_rate: probability in [0, 1] that an operation raises.
+        seed: RNG seed so failure sequences are reproducible.
+        fail_next: one-shot queue — explicit failures scheduled by tests,
+            consumed before any probabilistic failure is considered.
+    """
+
+    error_rate: float = 0.0
+    seed: int = 0
+    fail_next: list[str] = field(default_factory=list)
+    injected: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.error_rate <= 1.0:
+            raise ValueError(f"error_rate {self.error_rate} outside [0, 1]")
+        self._rng = random.Random(self.seed)
+
+    def schedule_failure(self, reason: str = "scheduled fault") -> None:
+        """Force the next checked operation to fail with ``reason``."""
+        self.fail_next.append(reason)
+
+    def check(self, op: str) -> None:
+        """Raise :class:`IOErrorSim` if a fault fires for this operation."""
+        if self.fail_next:
+            self.injected += 1
+            raise IOErrorSim(f"{op}: {self.fail_next.pop(0)}")
+        if self.error_rate > 0.0 and self._rng.random() < self.error_rate:
+            self.injected += 1
+            raise IOErrorSim(f"{op}: injected transient error")
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Capped exponential backoff for transient errors."""
+
+    max_attempts: int = 5
+    initial_backoff: float = 10e-3
+    multiplier: float = 2.0
+    max_backoff: float = 1.0
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (0-based)."""
+        return min(self.max_backoff, self.initial_backoff * self.multiplier**attempt)

@@ -1,0 +1,82 @@
+"""Cost model for the hybrid deployment (experiment E7).
+
+Prices follow public 2021 list prices (AWS us-east-1 class):
+
+* Cloud object storage: $0.023 /GB-month; PUT $5.0e-6, GET $4.0e-7 per
+  request; egress to the compute tier within a region priced at $0 by
+  default (configurable — cross-AZ setups pay ~$0.01/GB).
+* Local SSD: amortized $0.10 /GB-month (gp3-class block storage, or an NVMe
+  device amortized over 36 months).
+
+The paper's cost-effectiveness argument is about exactly this gap: cloud
+capacity is ~4–5× cheaper per GB, so pushing the LSM bulk to the cloud and
+keeping a small local working set approaches local performance at near-cloud
+cost. The model reports a *monthly bill* given observed device occupancy and
+request counts scaled from the measured workload to a sustained rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GB = 1 << 30
+
+
+@dataclass(frozen=True, slots=True)
+class CostModel:
+    """Unit prices for the two tiers."""
+
+    local_gb_month: float = 0.10
+    cloud_gb_month: float = 0.023
+    cloud_put_request: float = 5.0e-6
+    cloud_get_request: float = 4.0e-7
+    cloud_egress_gb: float = 0.0
+
+    def storage_cost(self, local_bytes: int, cloud_bytes: int) -> float:
+        """$ per month to hold the given occupancy."""
+        return (
+            local_bytes / GB * self.local_gb_month
+            + cloud_bytes / GB * self.cloud_gb_month
+        )
+
+    def request_cost(self, put_ops: int, get_ops: int, egress_bytes: int) -> float:
+        """$ for the given absolute request counts."""
+        return (
+            put_ops * self.cloud_put_request
+            + get_ops * self.cloud_get_request
+            + egress_bytes / GB * self.cloud_egress_gb
+        )
+
+    def monthly_bill(
+        self,
+        *,
+        local_bytes: int,
+        cloud_bytes: int,
+        put_ops: int,
+        get_ops: int,
+        egress_bytes: int,
+        window_seconds: float,
+    ) -> "MonthlyBill":
+        """Extrapolate a monthly bill from a measured window.
+
+        Request counts observed over ``window_seconds`` of simulated time
+        are scaled to a 30-day month at the same sustained rate.
+        """
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        scale = 30 * 24 * 3600 / window_seconds
+        storage = self.storage_cost(local_bytes, cloud_bytes)
+        requests = self.request_cost(put_ops, get_ops, egress_bytes) * scale
+        return MonthlyBill(storage=storage, requests=requests)
+
+
+@dataclass(frozen=True, slots=True)
+class MonthlyBill:
+    """Decomposed monthly cost in dollars."""
+
+    storage: float
+    requests: float
+
+    @property
+    def total(self) -> float:
+        return self.storage + self.requests

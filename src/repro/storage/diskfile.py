@@ -1,0 +1,246 @@
+"""Directory-backed local device: the same simulated timing, real bytes.
+
+:class:`DirectoryBackedDevice` is a drop-in for
+:class:`~repro.storage.local.LocalDevice` that persists every file to an
+actual directory on the host filesystem. Simulated-clock accounting is
+unchanged (costs still come from the latency model — host I/O speed never
+leaks into results); what changes is durability: a store built on this
+device survives *process* restarts, not just object restarts, so it can be
+inspected with ordinary tools and reopened across Python runs.
+
+Crash semantics mirror the in-memory device: appends buffer in memory until
+``sync`` writes them through (with a real ``flush`` + ``os.fsync``);
+``crash()`` discards unsynced tails and deletes never-synced files both in
+memory and on disk.
+
+File names may contain ``/`` (e.g. ``db/000001.sst``); they map to
+subdirectories under the root.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.errors import IOErrorSim, NotFoundError
+from repro.metrics.counters import CounterSet
+from repro.sim.clock import SimClock
+from repro.sim.failure import FaultInjector
+from repro.sim.latency import LatencyModel
+from repro.storage.local import LocalDevice
+
+
+def directory_backed_object_store(
+    root: str | os.PathLike,
+    clock: SimClock,
+    model: LatencyModel | None = None,
+    *,
+    counters: CounterSet | None = None,
+    faults: FaultInjector | None = None,
+):
+    """A :class:`~repro.storage.cloud.CloudObjectStore` persisted to a host
+    directory: existing objects are loaded at construction, and every
+    successful put/delete is written through, so a deployment survives
+    process restarts. Timing/cost accounting is unchanged."""
+    from repro.storage.cloud import CloudObjectStore
+
+    root_path = Path(root)
+    root_path.mkdir(parents=True, exist_ok=True)
+
+    class _DiskObjectStore(CloudObjectStore):
+        def __init__(self) -> None:
+            super().__init__(clock, model, counters=counters, faults=faults)
+            for path in root_path.rglob("*"):
+                if path.is_file():
+                    key = str(path.relative_to(root_path))
+                    self._objects[key] = path.read_bytes()
+
+        def _persist(self, key: str) -> None:
+            path = (root_path / key).resolve()
+            if not str(path).startswith(str(root_path.resolve())):
+                raise IOErrorSim(f"object key escapes store root: {key}")
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(path.suffix + ".tmp")
+            tmp.write_bytes(self._objects[key])
+            os.replace(tmp, path)
+
+        def _unpersist(self, key: str) -> None:
+            path = root_path / key
+            path.unlink(missing_ok=True)
+
+        def put(self, key: str, data: bytes) -> None:
+            super().put(key, data)
+            self._persist(key)
+
+        def complete_multipart(self, key: str, data: bytes) -> None:
+            super().complete_multipart(key, data)
+            self._persist(key)
+
+        def copy(self, src: str, dst: str) -> None:
+            super().copy(src, dst)
+            self._persist(dst)
+
+        def delete(self, key: str) -> None:
+            super().delete(key)
+            self._unpersist(key)
+
+    return _DiskObjectStore()
+
+
+class DirectoryBackedDevice(LocalDevice):
+    """A LocalDevice whose durable state lives in a host directory."""
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        clock: SimClock,
+        model: LatencyModel | None = None,
+        *,
+        capacity_bytes: int | None = None,
+        counters: CounterSet | None = None,
+        faults: FaultInjector | None = None,
+    ) -> None:
+        super().__init__(
+            clock,
+            model,
+            capacity_bytes=capacity_bytes,
+            counters=counters,
+            faults=faults,
+        )
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._pending: dict[str, bytearray] = {}
+        self._never_synced: set[str] = set()
+        self._sizes: dict[str, int] = {}
+        self._load_existing()
+
+    # -- host-path mapping ---------------------------------------------------
+
+    def _path(self, name: str) -> Path:
+        path = (self.root / name).resolve()
+        if not str(path).startswith(str(self.root.resolve())):
+            raise IOErrorSim(f"file name escapes device root: {name}")
+        return path
+
+    def _load_existing(self) -> None:
+        for path in self.root.rglob("*"):
+            if path.is_file():
+                name = str(path.relative_to(self.root))
+                self._sizes[name] = path.stat().st_size
+
+    # -- write path ------------------------------------------------------------
+
+    def create(self, name: str) -> None:
+        if name in self._sizes or name in self._pending:
+            raise IOErrorSim(f"local file already exists: {name}")
+        self._pending[name] = bytearray()
+        self._never_synced.add(name)
+
+    def append(self, name: str, data: bytes) -> None:
+        if name not in self._sizes and name not in self._pending:
+            raise NotFoundError(f"local file not found: {name}")
+        if self.capacity_bytes is not None and self.used_bytes() + len(data) > self.capacity_bytes:
+            raise IOErrorSim("local device over capacity")
+        self._pending.setdefault(name, bytearray()).extend(data)
+
+    def sync(self, name: str) -> None:
+        if self.faults is not None:
+            self.faults.check(f"local.sync({name})")
+        if name not in self._sizes and name not in self._pending:
+            raise NotFoundError(f"local file not found: {name}")
+        pending = self._pending.pop(name, bytearray())
+        self.clock.advance(self.model.write_cost(len(pending)))
+        self.counters.inc("local.sync_ops")
+        self.counters.inc("local.write_bytes", len(pending))
+        path = self._path(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "ab") as fh:
+            fh.write(bytes(pending))
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._sizes[name] = self._sizes.get(name, 0) + len(pending)
+        self._never_synced.discard(name)
+
+    def write_file(self, name: str, data: bytes) -> None:
+        self._pending.pop(name, None)
+        self._never_synced.discard(name)
+        path = self._path(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self.clock.advance(self.model.write_cost(len(data)))
+        self.counters.inc("local.sync_ops")
+        self.counters.inc("local.write_bytes", len(data))
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)  # atomic on POSIX
+        self._sizes[name] = len(data)
+
+    # -- read path ------------------------------------------------------------
+
+    def read(self, name: str, offset: int = 0, length: int | None = None) -> bytes:
+        if self.faults is not None:
+            self.faults.check(f"local.read({name})")
+        if name not in self._sizes and name not in self._pending:
+            raise NotFoundError(f"local file not found: {name}")
+        durable = b""
+        if name in self._sizes:
+            with open(self._path(name), "rb") as fh:
+                durable = fh.read()
+        data = durable + bytes(self._pending.get(name, b""))
+        end = len(data) if length is None else min(len(data), offset + length)
+        chunk = data[offset:end]
+        self.clock.advance(self.model.read_cost(len(chunk)))
+        self.counters.inc("local.read_ops")
+        self.counters.inc("local.read_bytes", len(chunk))
+        return chunk
+
+    # -- namespace ---------------------------------------------------------------
+
+    def exists(self, name: str) -> bool:
+        return name in self._sizes or name in self._pending
+
+    def size(self, name: str) -> int:
+        if not self.exists(name):
+            raise NotFoundError(f"local file not found: {name}")
+        return self._sizes.get(name, 0) + len(self._pending.get(name, b""))
+
+    def delete(self, name: str) -> None:
+        if not self.exists(name):
+            raise NotFoundError(f"local file not found: {name}")
+        self._pending.pop(name, None)
+        self._never_synced.discard(name)
+        if name in self._sizes:
+            del self._sizes[name]
+            self._path(name).unlink(missing_ok=True)
+
+    def rename(self, old: str, new: str) -> None:
+        if not self.exists(old):
+            raise NotFoundError(f"local file not found: {old}")
+        pending = self._pending.pop(old, None)
+        if pending is not None:
+            self._pending[new] = pending
+        if old in self._never_synced:
+            self._never_synced.discard(old)
+            self._never_synced.add(new)
+        if old in self._sizes:
+            new_path = self._path(new)
+            new_path.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(self._path(old), new_path)
+            self._sizes[new] = self._sizes.pop(old)
+
+    def list_files(self, prefix: str = "") -> list[str]:
+        names = set(self._sizes) | set(self._pending)
+        return sorted(n for n in names if n.startswith(prefix))
+
+    def used_bytes(self) -> int:
+        return sum(self._sizes.values()) + sum(len(b) for b in self._pending.values())
+
+    # -- failure semantics ------------------------------------------------------
+
+    def crash(self) -> None:
+        for name in list(self._never_synced):
+            self._pending.pop(name, None)
+        self._never_synced.clear()
+        self._pending.clear()

@@ -1,0 +1,165 @@
+"""Simulated local block device (SSD-like) with crash semantics.
+
+Files are byte arrays split into a *durable* part and an *unsynced* tail.
+``append`` is cheap (page-cache write); ``sync`` pays the device's write
+latency plus transfer time for the pending bytes and makes them durable.
+:meth:`LocalDevice.crash` discards every unsynced tail — recovery tests use
+this to assert that acknowledged (synced) writes survive a crash and
+unacknowledged ones may not.
+
+All costs are charged to a shared :class:`~repro.sim.clock.SimClock`; see
+DESIGN.md §4 for the timing methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IOErrorSim, NotFoundError
+from repro.metrics.counters import CounterSet
+from repro.sim.clock import SimClock
+from repro.sim.failure import FaultInjector
+from repro.sim.latency import LatencyModel, nvme_ssd
+
+
+@dataclass
+class _FileState:
+    durable: bytearray = field(default_factory=bytearray)
+    pending: bytearray = field(default_factory=bytearray)
+    synced_once: bool = False  # creation itself is durable only after a sync
+
+    @property
+    def size(self) -> int:
+        return len(self.durable) + len(self.pending)
+
+    def view(self) -> bytes:
+        if not self.pending:
+            return bytes(self.durable)
+        return bytes(self.durable) + bytes(self.pending)
+
+
+class LocalDevice:
+    """A named-file byte store with an SSD latency model.
+
+    Args:
+        clock: simulated clock charged for every I/O.
+        model: latency/bandwidth model (defaults to NVMe-class).
+        capacity_bytes: optional hard capacity; exceeding it raises
+            :class:`IOErrorSim` (placement layers are expected to stay under
+            budget, so hitting this is a bug signal, not flow control).
+        counters: metrics sink (``local.read_ops`` etc.); a private set is
+            created when omitted.
+        faults: optional fault injector applied to reads/syncs.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        model: LatencyModel | None = None,
+        *,
+        capacity_bytes: int | None = None,
+        counters: CounterSet | None = None,
+        faults: FaultInjector | None = None,
+    ) -> None:
+        self.clock = clock
+        self.model = model or nvme_ssd()
+        self.capacity_bytes = capacity_bytes
+        self.counters = counters if counters is not None else CounterSet()
+        self.faults = faults
+        self._files: dict[str, _FileState] = {}
+
+    # -- write path -------------------------------------------------------
+
+    def create(self, name: str) -> None:
+        """Create an empty file; error if it already exists."""
+        if name in self._files:
+            raise IOErrorSim(f"local file already exists: {name}")
+        self._files[name] = _FileState()
+
+    def append(self, name: str, data: bytes) -> None:
+        """Buffer ``data`` at the end of ``name`` (durable after ``sync``)."""
+        state = self._require(name)
+        if self.capacity_bytes is not None and self.used_bytes() + len(data) > self.capacity_bytes:
+            raise IOErrorSim(
+                f"local device over capacity: {self.used_bytes() + len(data)}"
+                f" > {self.capacity_bytes}"
+            )
+        state.pending += data
+
+    def sync(self, name: str) -> None:
+        """Make all buffered bytes of ``name`` durable; charges write cost."""
+        if self.faults is not None:
+            self.faults.check(f"local.sync({name})")
+        state = self._require(name)
+        nbytes = len(state.pending)
+        self.clock.advance(self.model.write_cost(nbytes))
+        self.counters.inc("local.sync_ops")
+        self.counters.inc("local.write_bytes", nbytes)
+        state.durable += state.pending
+        state.pending.clear()
+        state.synced_once = True
+
+    def write_file(self, name: str, data: bytes) -> None:
+        """Atomically create-or-replace ``name`` with ``data``, synced."""
+        self._files[name] = _FileState()
+        self.append(name, data)
+        self.sync(name)
+
+    # -- read path --------------------------------------------------------
+
+    def read(self, name: str, offset: int = 0, length: int | None = None) -> bytes:
+        """Positional read; charges read cost for the returned bytes."""
+        if self.faults is not None:
+            self.faults.check(f"local.read({name})")
+        state = self._require(name)
+        data = state.view()
+        end = len(data) if length is None else min(len(data), offset + length)
+        chunk = data[offset:end]
+        self.clock.advance(self.model.read_cost(len(chunk)))
+        self.counters.inc("local.read_ops")
+        self.counters.inc("local.read_bytes", len(chunk))
+        return chunk
+
+    # -- namespace --------------------------------------------------------
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def size(self, name: str) -> int:
+        return self._require(name).size
+
+    def delete(self, name: str) -> None:
+        if name not in self._files:
+            raise NotFoundError(f"local file not found: {name}")
+        del self._files[name]
+
+    def rename(self, old: str, new: str) -> None:
+        state = self._files.pop(old, None)
+        if state is None:
+            raise NotFoundError(f"local file not found: {old}")
+        self._files[new] = state
+
+    def list_files(self, prefix: str = "") -> list[str]:
+        return sorted(name for name in self._files if name.startswith(prefix))
+
+    def used_bytes(self) -> int:
+        """Total bytes across all files (durable + pending)."""
+        return sum(state.size for state in self._files.values())
+
+    # -- failure semantics --------------------------------------------------
+
+    def crash(self) -> None:
+        """Simulate a power failure: drop unsynced tails and unsynced files."""
+        doomed = [name for name, st in self._files.items() if not st.synced_once]
+        for name in doomed:
+            del self._files[name]
+        for state in self._files.values():
+            state.pending.clear()
+
+    # -- internal -----------------------------------------------------------
+
+    def _require(self, name: str) -> _FileState:
+        state = self._files.get(name)
+        if state is None:
+            raise NotFoundError(f"local file not found: {name}")
+        return state

@@ -1,0 +1,32 @@
+"""Low-level building blocks: encodings, checksums, filters, skiplist."""
+
+from repro.util.bloom import BloomFilterPolicy
+from repro.util.crc import crc32, masked_crc32, verify_masked_crc32
+from repro.util.encoding import (
+    TYPE_DELETION,
+    TYPE_VALUE,
+    ParsedInternalKey,
+    compare_internal,
+    extract_user_key,
+    make_internal_key,
+    parse_internal_key,
+)
+from repro.util.skiplist import SkipList
+from repro.util.varint import decode_varint, encode_varint
+
+__all__ = [
+    "BloomFilterPolicy",
+    "ParsedInternalKey",
+    "SkipList",
+    "TYPE_DELETION",
+    "TYPE_VALUE",
+    "compare_internal",
+    "crc32",
+    "decode_varint",
+    "encode_varint",
+    "extract_user_key",
+    "make_internal_key",
+    "masked_crc32",
+    "parse_internal_key",
+    "verify_masked_crc32",
+]

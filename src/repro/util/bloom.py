@@ -1,0 +1,87 @@
+"""Bloom filter, LevelDB-compatible double hashing.
+
+Used for SSTable filter blocks: a filter is built once per table (or per
+block) from the set of user keys and serialized into the file; readers probe
+it before touching data blocks. The guarantee tested by the property suite is
+*no false negatives*: every key added always matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _bloom_hash(data: bytes, seed: int = 0xBC9F1D34) -> int:
+    """32-bit multiplicative hash (LevelDB's ``BloomHash``)."""
+    m = 0xC6A4A793
+    h = (seed ^ (len(data) * m)) & 0xFFFFFFFF
+    i, n = 0, len(data)
+    while n - i >= 4:
+        w = int.from_bytes(data[i : i + 4], "little")
+        h = (h + w) & 0xFFFFFFFF
+        h = (h * m) & 0xFFFFFFFF
+        h ^= h >> 16
+        i += 4
+    rest = n - i
+    if rest >= 3:
+        h = (h + (data[i + 2] << 16)) & 0xFFFFFFFF
+    if rest >= 2:
+        h = (h + (data[i + 1] << 8)) & 0xFFFFFFFF
+    if rest >= 1:
+        h = (h + data[i]) & 0xFFFFFFFF
+        h = (h * m) & 0xFFFFFFFF
+        h ^= h >> 24
+    return h
+
+
+@dataclass(frozen=True, slots=True)
+class BloomFilterPolicy:
+    """Factory for bloom filters with a fixed bits-per-key budget."""
+
+    bits_per_key: int = 10
+
+    @property
+    def num_probes(self) -> int:
+        """Number of hash probes, ``~bits_per_key * ln 2`` clamped to [1, 30]."""
+        k = int(self.bits_per_key * 0.69)
+        return max(1, min(30, k))
+
+    def create_filter(self, keys: list[bytes]) -> bytes:
+        """Serialize a filter matching every key in ``keys``.
+
+        Layout: filter bit array followed by one byte holding the probe
+        count, as in LevelDB.
+        """
+        bits = max(64, len(keys) * self.bits_per_key)
+        nbytes = (bits + 7) // 8
+        bits = nbytes * 8
+        array = bytearray(nbytes)
+        k = self.num_probes
+        for key in keys:
+            h = _bloom_hash(key)
+            delta = ((h >> 17) | (h << 15)) & 0xFFFFFFFF
+            for _ in range(k):
+                bitpos = h % bits
+                array[bitpos // 8] |= 1 << (bitpos % 8)
+                h = (h + delta) & 0xFFFFFFFF
+        array.append(k)
+        return bytes(array)
+
+    @staticmethod
+    def key_may_match(key: bytes, filter_data: bytes) -> bool:
+        """Probe a serialized filter. False means *definitely absent*."""
+        if len(filter_data) < 2:
+            return True  # degenerate filter: claim potential match
+        k = filter_data[-1]
+        if k > 30:
+            # Reserved for future encodings; behave conservatively.
+            return True
+        bits = (len(filter_data) - 1) * 8
+        h = _bloom_hash(key)
+        delta = ((h >> 17) | (h << 15)) & 0xFFFFFFFF
+        for _ in range(k):
+            bitpos = h % bits
+            if not filter_data[bitpos // 8] & (1 << (bitpos % 8)):
+                return False
+            h = (h + delta) & 0xFFFFFFFF
+        return True

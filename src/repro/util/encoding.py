@@ -1,0 +1,123 @@
+"""Internal key encoding and fixed-width integer helpers.
+
+The LSM engine stores *internal keys*: the user key followed by an 8-byte
+trailer packing a 56-bit sequence number and an 8-bit value type, exactly as
+LevelDB/RocksDB do. Internal keys sort by user key ascending, then sequence
+number **descending** (newest first), then type descending — which the
+byte-level trailer encoding below preserves when compared with the custom
+comparator :func:`compare_internal`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import CorruptionError
+
+# Value types (trailer low byte). Order matters: for equal (user_key, seq)
+# a higher type sorts first under the internal comparator.
+TYPE_DELETION = 0x0
+TYPE_VALUE = 0x1
+
+MAX_SEQUENCE = (1 << 56) - 1
+
+_FIXED64 = struct.Struct("<Q")
+_FIXED32 = struct.Struct("<I")
+
+
+def encode_fixed32(value: int) -> bytes:
+    return _FIXED32.pack(value & 0xFFFFFFFF)
+
+
+def decode_fixed32(buf: bytes, offset: int = 0) -> int:
+    return _FIXED32.unpack_from(buf, offset)[0]
+
+
+def encode_fixed64(value: int) -> bytes:
+    return _FIXED64.pack(value & 0xFFFFFFFFFFFFFFFF)
+
+
+def decode_fixed64(buf: bytes, offset: int = 0) -> int:
+    return _FIXED64.unpack_from(buf, offset)[0]
+
+
+def pack_trailer(sequence: int, value_type: int) -> bytes:
+    """Pack ``(sequence, type)`` into the 8-byte internal-key trailer."""
+    if not 0 <= sequence <= MAX_SEQUENCE:
+        raise ValueError(f"sequence {sequence} out of range")
+    return encode_fixed64((sequence << 8) | value_type)
+
+
+def make_internal_key(user_key: bytes, sequence: int, value_type: int) -> bytes:
+    """Build an internal key from its components."""
+    return user_key + pack_trailer(sequence, value_type)
+
+
+@dataclass(frozen=True, slots=True)
+class ParsedInternalKey:
+    """Decoded form of an internal key."""
+
+    user_key: bytes
+    sequence: int
+    value_type: int
+
+
+def parse_internal_key(ikey: bytes) -> ParsedInternalKey:
+    """Split an internal key into user key, sequence, and type."""
+    if len(ikey) < 8:
+        raise CorruptionError(f"internal key too short: {len(ikey)} bytes")
+    trailer = decode_fixed64(ikey, len(ikey) - 8)
+    return ParsedInternalKey(
+        user_key=ikey[:-8],
+        sequence=trailer >> 8,
+        value_type=trailer & 0xFF,
+    )
+
+
+def extract_user_key(ikey: bytes) -> bytes:
+    """Return just the user-key prefix of an internal key."""
+    if len(ikey) < 8:
+        raise CorruptionError(f"internal key too short: {len(ikey)} bytes")
+    return ikey[:-8]
+
+
+def compare_internal(a: bytes, b: bytes) -> int:
+    """Three-way comparison of two internal keys.
+
+    Orders by user key ascending, then by sequence/type *descending* so the
+    newest entry for a user key is encountered first during iteration.
+    """
+    ua, ub = extract_user_key(a), extract_user_key(b)
+    if ua < ub:
+        return -1
+    if ua > ub:
+        return 1
+    ta = decode_fixed64(a, len(a) - 8)
+    tb = decode_fixed64(b, len(b) - 8)
+    if ta > tb:  # larger (seq, type) sorts first
+        return -1
+    if ta < tb:
+        return 1
+    return 0
+
+
+class InternalKeyOrder:
+    """Key-function adaptor making internal keys usable with ``sorted``.
+
+    ``sorted(keys, key=InternalKeyOrder)`` yields internal-comparator order.
+    """
+
+    __slots__ = ("ikey",)
+
+    def __init__(self, ikey: bytes) -> None:
+        self.ikey = ikey
+
+    def __lt__(self, other: "InternalKeyOrder") -> bool:
+        return compare_internal(self.ikey, other.ikey) < 0
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, InternalKeyOrder) and compare_internal(self.ikey, other.ikey) == 0
+
+    def __hash__(self) -> int:
+        return hash(self.ikey)

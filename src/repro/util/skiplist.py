@@ -1,0 +1,122 @@
+"""Skiplist — the memtable's ordered index.
+
+A classic probabilistic skiplist (max height 12, branching factor 4, the
+LevelDB parameters) over ``bytes`` keys with a pluggable three-way
+comparator, so the memtable can order *internal* keys with
+:func:`repro.util.encoding.compare_internal`.
+
+The list stores keys only; the memtable packs key and value into a single
+entry. Duplicate keys are rejected — memtable entries are unique because the
+sequence number embedded in each internal key is unique.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterator
+
+MAX_HEIGHT = 12
+BRANCHING = 4
+
+Comparator = Callable[[bytes, bytes], int]
+
+
+def default_compare(a: bytes, b: bytes) -> int:
+    """Plain lexicographic three-way comparison."""
+    if a < b:
+        return -1
+    if a > b:
+        return 1
+    return 0
+
+
+class _Node:
+    __slots__ = ("key", "next")
+
+    def __init__(self, key: bytes | None, height: int) -> None:
+        self.key = key
+        self.next: list[_Node | None] = [None] * height
+
+
+class SkipList:
+    """Ordered set of byte strings with O(log n) insert and seek."""
+
+    def __init__(self, comparator: Comparator = default_compare, *, seed: int = 0) -> None:
+        self._cmp = comparator
+        self._head = _Node(None, MAX_HEIGHT)
+        self._height = 1
+        self._rng = random.Random(seed)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _random_height(self) -> int:
+        height = 1
+        while height < MAX_HEIGHT and self._rng.randrange(BRANCHING) == 0:
+            height += 1
+        return height
+
+    def _find_greater_or_equal(self, key: bytes, prev: list[_Node] | None) -> _Node | None:
+        node = self._head
+        level = self._height - 1
+        while True:
+            nxt = node.next[level]
+            if nxt is not None and self._cmp(nxt.key, key) < 0:
+                node = nxt
+            else:
+                if prev is not None:
+                    prev[level] = node
+                if level == 0:
+                    return nxt
+                level -= 1
+
+    def insert(self, key: bytes) -> None:
+        """Insert ``key``; raises ``ValueError`` on duplicates."""
+        prev: list[_Node] = [self._head] * MAX_HEIGHT
+        found = self._find_greater_or_equal(key, prev)
+        if found is not None and self._cmp(found.key, key) == 0:
+            raise ValueError("duplicate key inserted into SkipList")
+        height = self._random_height()
+        if height > self._height:
+            for level in range(self._height, height):
+                prev[level] = self._head
+            self._height = height
+        node = _Node(key, height)
+        for level in range(height):
+            node.next[level] = prev[level].next[level]
+            prev[level].next[level] = node
+        self._size += 1
+
+    def contains(self, key: bytes) -> bool:
+        node = self._find_greater_or_equal(key, None)
+        return node is not None and self._cmp(node.key, key) == 0
+
+    def seek(self, key: bytes) -> Iterator[bytes]:
+        """Iterate keys >= ``key`` in comparator order."""
+        node = self._find_greater_or_equal(key, None)
+        while node is not None:
+            yield node.key
+            node = node.next[0]
+
+    def __iter__(self) -> Iterator[bytes]:
+        node = self._head.next[0]
+        while node is not None:
+            yield node.key
+            node = node.next[0]
+
+    def first(self) -> bytes | None:
+        node = self._head.next[0]
+        return None if node is None else node.key
+
+    def last(self) -> bytes | None:
+        node = self._head
+        level = self._height - 1
+        while True:
+            nxt = node.next[level]
+            if nxt is not None:
+                node = nxt
+            elif level == 0:
+                return node.key  # None iff list empty (head)
+            else:
+                level -= 1

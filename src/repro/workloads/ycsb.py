@@ -1,0 +1,172 @@
+"""YCSB core workloads A–F against any store facade.
+
+Operation mixes follow the YCSB distribution (Cooper et al., SoCC'10):
+
+====  =========================  =============================
+ WL    Mix                        Request distribution
+====  =========================  =============================
+ A     50% read / 50% update      zipfian
+ B     95% read /  5% update      zipfian
+ C     100% read                  zipfian
+ D     95% read /  5% insert      latest
+ E     95% scan /  5% insert      zipfian (scan len uniform 1–100)
+ F     50% read / 50% RMW         zipfian
+====  =========================  =============================
+
+Throughput is simulated ops/second (ops / simulated elapsed seconds);
+latencies are simulated per-op histograms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.metrics.latency import LatencyHistogram
+from repro.sim.clock import StopwatchRegion
+from repro.workloads.generator import make_key, make_request_generator, make_value
+
+
+@dataclass(frozen=True)
+class YCSBSpec:
+    """One YCSB workload definition."""
+
+    name: str
+    read_proportion: float = 0.0
+    update_proportion: float = 0.0
+    insert_proportion: float = 0.0
+    scan_proportion: float = 0.0
+    rmw_proportion: float = 0.0
+    request_distribution: str = "zipfian"
+    record_count: int = 10_000
+    operation_count: int = 10_000
+    value_size: int = 100
+    max_scan_length: int = 100
+    zipf_theta: float = 0.99
+
+    def __post_init__(self) -> None:
+        total = (
+            self.read_proportion
+            + self.update_proportion
+            + self.insert_proportion
+            + self.scan_proportion
+            + self.rmw_proportion
+        )
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"workload {self.name}: proportions sum to {total}, not 1")
+
+    def scaled(self, records: int, operations: int) -> "YCSBSpec":
+        """Same mix at a different scale."""
+        return replace(self, record_count=records, operation_count=operations)
+
+
+WORKLOAD_A = YCSBSpec("A", read_proportion=0.5, update_proportion=0.5)
+WORKLOAD_B = YCSBSpec("B", read_proportion=0.95, update_proportion=0.05)
+WORKLOAD_C = YCSBSpec("C", read_proportion=1.0)
+WORKLOAD_D = YCSBSpec(
+    "D", read_proportion=0.95, insert_proportion=0.05, request_distribution="latest"
+)
+WORKLOAD_E = YCSBSpec("E", scan_proportion=0.95, insert_proportion=0.05)
+WORKLOAD_F = YCSBSpec("F", read_proportion=0.5, rmw_proportion=0.5)
+
+ALL_WORKLOADS = {w.name: w for w in [WORKLOAD_A, WORKLOAD_B, WORKLOAD_C, WORKLOAD_D, WORKLOAD_E, WORKLOAD_F]}
+
+
+@dataclass
+class YCSBResult:
+    """Outcome of one workload run."""
+
+    workload: str
+    store: str
+    operations: int
+    elapsed_seconds: float
+    op_counts: dict[str, int] = field(default_factory=dict)
+    read_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    update_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    found: int = 0
+    not_found: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Simulated operations per simulated second."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.operations / self.elapsed_seconds
+
+
+def load_phase(store, spec: YCSBSpec, *, sync: bool = True) -> None:
+    """Insert ``record_count`` records (the YCSB load phase)."""
+    for i in range(spec.record_count):
+        store.put(make_key(i), make_value(i, spec.value_size), sync=sync)
+    store.flush()
+
+
+def run_phase(store, spec: YCSBSpec, *, seed: int = 42) -> YCSBResult:
+    """Execute the transaction phase; returns simulated-time results."""
+    import random
+
+    rng = random.Random(seed)
+    request = make_request_generator(
+        spec.request_distribution, spec.record_count, theta=spec.zipf_theta, seed=seed
+    )
+    insert_cursor = spec.record_count
+    result = YCSBResult(workload=spec.name, store=store.name, operations=spec.operation_count, elapsed_seconds=0.0)
+    counts = {"read": 0, "update": 0, "insert": 0, "scan": 0, "rmw": 0}
+
+    start = store.clock.now
+    for op_index in range(spec.operation_count):
+        r = rng.random()
+        if r < spec.read_proportion:
+            key = make_key(request.next())
+            with StopwatchRegion(store.clock) as sw:
+                value = store.get(key)
+            result.read_latency.record(sw.elapsed)
+            if value is None:
+                result.not_found += 1
+            else:
+                result.found += 1
+            counts["read"] += 1
+        elif r < spec.read_proportion + spec.update_proportion:
+            key = make_key(request.next())
+            with StopwatchRegion(store.clock) as sw:
+                store.put(key, make_value(op_index, spec.value_size))
+            result.update_latency.record(sw.elapsed)
+            counts["update"] += 1
+        elif r < spec.read_proportion + spec.update_proportion + spec.insert_proportion:
+            key = make_key(insert_cursor)
+            insert_cursor += 1
+            if hasattr(request, "set_count"):
+                request.set_count(insert_cursor)
+            with StopwatchRegion(store.clock) as sw:
+                store.put(key, make_value(insert_cursor, spec.value_size))
+            result.update_latency.record(sw.elapsed)
+            counts["insert"] += 1
+        elif (
+            r
+            < spec.read_proportion
+            + spec.update_proportion
+            + spec.insert_proportion
+            + spec.scan_proportion
+        ):
+            begin = make_key(request.next())
+            length = rng.randint(1, spec.max_scan_length)
+            with StopwatchRegion(store.clock) as sw:
+                store.scan(begin, None, limit=length)
+            result.read_latency.record(sw.elapsed)
+            counts["scan"] += 1
+        else:  # read-modify-write
+            key = make_key(request.next())
+            with StopwatchRegion(store.clock) as sw:
+                value = store.get(key) or b""
+                store.put(key, value[: spec.value_size // 2] + make_value(op_index, spec.value_size // 2))
+            result.update_latency.record(sw.elapsed)
+            counts["rmw"] += 1
+    result.elapsed_seconds = store.clock.now - start
+    result.op_counts = counts
+    return result
+
+
+def run_workload(store, spec: YCSBSpec, *, seed: int = 42, load: bool = True) -> YCSBResult:
+    """Convenience: load phase (optional) then transaction phase."""
+    if load:
+        load_phase(store, spec)
+    return run_phase(store, spec, seed=seed)

@@ -1,0 +1,229 @@
+"""Integration tests for the three baseline systems."""
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    CloudOnlyConfig,
+    CloudOnlyStore,
+    LocalOnlyConfig,
+    LocalOnlyStore,
+    RocksDBCloudConfig,
+    RocksDBCloudStore,
+)
+from repro.mash.store import RocksMashStore, StoreConfig
+from repro.storage.env import CLOUD, LOCAL
+
+
+def make_all_stores():
+    return [
+        LocalOnlyStore.create(LocalOnlyConfig().small()),
+        CloudOnlyStore.create(CloudOnlyConfig().small()),
+        RocksDBCloudStore.create(RocksDBCloudConfig().small()),
+        RocksMashStore.create(StoreConfig().small()),
+    ]
+
+
+class TestUniformCorrectness:
+    """Every system variant must implement identical KV semantics."""
+
+    @pytest.mark.parametrize("index", range(4))
+    def test_model_equivalence(self, index):
+        store = make_all_stores()[index]
+        rng = random.Random(99)
+        model = {}
+        keys = [f"key{i:04d}".encode() for i in range(200)]
+        for step in range(1500):
+            key = rng.choice(keys)
+            if rng.random() < 0.7:
+                value = f"v{step}".encode() + b"z" * rng.randint(0, 80)
+                store.put(key, value)
+                model[key] = value
+            else:
+                store.delete(key)
+                model.pop(key, None)
+        for key in keys:
+            assert store.get(key) == model.get(key), (store.name, key)
+        assert dict(store.scan()) == model, store.name
+
+    @pytest.mark.parametrize("index", range(4))
+    def test_clean_restart(self, index):
+        store = make_all_stores()[index]
+        for i in range(400):
+            store.put(f"k{i:04d}".encode(), f"v{i}".encode())
+        store2 = store.reopen()
+        assert store2.get(b"k0000") == b"v0"
+        assert store2.get(b"k0399") == b"v399"
+
+
+class TestLocalOnly:
+    def test_everything_on_local(self):
+        store = LocalOnlyStore.create(LocalOnlyConfig().small())
+        for i in range(1000):
+            store.put(f"k{i:05d}".encode(), b"v" * 60)
+        assert store.cloud_bytes() == 0
+        assert store.local_bytes() > 0
+
+    def test_crash_recovery_full_durability(self):
+        store = LocalOnlyStore.create(LocalOnlyConfig().small())
+        for i in range(200):
+            store.put(f"k{i:04d}".encode(), b"v", sync=True)
+        store2 = store.reopen(crash=True)
+        for i in range(200):
+            assert store2.get(f"k{i:04d}".encode()) == b"v"
+
+
+class TestCloudOnly:
+    def test_everything_on_cloud(self):
+        store = CloudOnlyStore.create(CloudOnlyConfig().small())
+        for i in range(500):
+            store.put(f"k{i:05d}".encode(), b"v" * 60)
+        assert store.cloud_bytes() > 0
+        assert store.local_bytes() == 0
+
+    def test_wal_on_object_storage_pays_quadratic_upload(self):
+        """Durability on an immutable object store means re-uploading the
+        whole WAL on every sync — the honest cost the paper's design avoids
+        by keeping the WAL local."""
+        store = CloudOnlyStore.create(CloudOnlyConfig().small())
+        logical = 0
+        for i in range(50):
+            store.put(f"k{i:03d}".encode(), b"v" * 20, sync=True)
+            logical += 24 + 20
+        uploaded = store.counters.get("cloud.put_bytes")
+        assert uploaded > logical * 5  # ~n^2/2 vs n
+
+    def test_synced_writes_survive_crash(self):
+        store = CloudOnlyStore.create(CloudOnlyConfig().small())
+        store.put(b"flushed", b"v", sync=True)
+        store.flush()
+        store.put(b"memtable-only", b"v", sync=True)
+        store2 = store.reopen(crash=True)
+        assert store2.get(b"flushed") == b"v"
+        assert store2.get(b"memtable-only") == b"v"
+
+    def test_reads_pay_cloud_round_trips(self):
+        store = CloudOnlyStore.create(CloudOnlyConfig().small())
+        for i in range(500):
+            store.put(f"k{i:05d}".encode(), b"v" * 60)
+        store.flush()
+        store.counters.reset()
+        store.get(b"k00042")
+        assert store.counters.get("cloud.get_ops") > 0
+
+
+class TestRocksDBCloud:
+    def test_ssts_on_cloud_wal_local(self):
+        store = RocksDBCloudStore.create(RocksDBCloudConfig().small())
+        for i in range(800):
+            store.put(f"k{i:05d}".encode(), b"v" * 60)
+        store.flush()
+        names = store.env.list_files("db/")
+        for name in names:
+            tier = store.env.tier_of(name)
+            if name.endswith(".sst"):
+                assert tier == CLOUD, name
+            else:
+                assert tier == LOCAL, name
+
+    def test_file_cache_serves_repeat_reads(self):
+        import dataclasses
+
+        config = RocksDBCloudConfig().small()
+        # Disable the DRAM block cache so reads exercise the file cache.
+        config = dataclasses.replace(
+            config, options=dataclasses.replace(config.options, block_cache_bytes=0)
+        )
+        store = RocksDBCloudStore.create(config)
+        for i in range(800):
+            store.put(f"k{i:05d}".encode(), b"v" * 60)
+        store.flush()
+        for _ in range(store.file_cache.admit_threshold):
+            store.get(b"k00042")  # cold reads, then admission
+        assert store.file_cache.fills > 0
+        fills_before = store.file_cache.fills
+        gets_before = store.counters.get("cloud.get_ops")
+        store.get(b"k00042")
+        assert store.file_cache.fills == fills_before
+        assert store.counters.get("cloud.get_ops") == gets_before
+
+    def test_cold_reads_do_not_fill_file_cache(self):
+        import dataclasses
+
+        config = RocksDBCloudConfig().small()
+        config = dataclasses.replace(
+            config, options=dataclasses.replace(config.options, block_cache_bytes=0)
+        )
+        store = RocksDBCloudStore.create(config)
+        for i in range(800):
+            store.put(f"k{i:05d}".encode(), b"v" * 60)
+        store.flush()
+        fills_after_load = store.file_cache.fills  # compactions may fill
+        store.get(b"k00042")  # single read: below the admission threshold
+        assert store.file_cache.fills == fills_after_load
+
+    def test_file_cache_budget_respected(self):
+        config = RocksDBCloudConfig().small()
+        store = RocksDBCloudStore.create(config)
+        for i in range(3000):
+            store.put(f"k{i:05d}".encode(), b"v" * 60)
+        for _ in range(4):  # repeat so files pass the admission threshold
+            for i in range(0, 3000, 17):
+                store.get(f"k{i:05d}".encode())
+        assert store.file_cache.fills > 0
+        assert store.file_cache.used_bytes <= config.file_cache_budget_bytes
+
+    def test_wal_durability_preserved(self):
+        """Unlike cloud-only, the local WAL survives a crash."""
+        store = RocksDBCloudStore.create(RocksDBCloudConfig().small())
+        store.put(b"k", b"v", sync=True)
+        store2 = store.reopen(crash=True)
+        assert store2.get(b"k") == b"v"
+
+    def test_file_cache_survives_restart(self):
+        import dataclasses
+
+        config = RocksDBCloudConfig().small()
+        config = dataclasses.replace(
+            config, options=dataclasses.replace(config.options, block_cache_bytes=0)
+        )
+        store = RocksDBCloudStore.create(config)
+        for i in range(800):
+            store.put(f"k{i:05d}".encode(), b"v" * 60)
+        store.flush()
+        for _ in range(store.file_cache.admit_threshold + 1):
+            store.get(b"k00042")
+        cached = store.file_cache.used_bytes
+        assert cached > 0
+        store2 = store.reopen()
+        assert store2.file_cache.used_bytes == cached
+
+
+class TestRelativePerformance:
+    """The headline shape: local > mash > rocksdb-cloud > cloud-only."""
+
+    def test_write_path_ordering(self):
+        times = {}
+        for store in make_all_stores():
+            start = store.clock.now
+            for i in range(800):
+                store.put(f"k{i:05d}".encode(), b"v" * 60)
+            times[store.name] = store.clock.now - start
+        assert times["local-only"] < times["rocksmash"]
+        assert times["rocksmash"] < times["rocksdb-cloud"]
+        assert times["rocksdb-cloud"] < times["cloud-only"]
+
+    def test_read_path_ordering(self):
+        rng = random.Random(5)
+        times = {}
+        for store in make_all_stores():
+            for i in range(1500):
+                store.put(f"k{i:05d}".encode(), b"v" * 60)
+            store.flush()
+            start = store.clock.now
+            for _ in range(300):
+                store.get(f"k{rng.randint(0, 1499):05d}".encode())
+            times[store.name] = store.clock.now - start
+        assert times["local-only"] <= times["rocksmash"] * 1.5
+        assert times["rocksmash"] < times["cloud-only"]

@@ -1,0 +1,112 @@
+"""Integration tests for the user compaction filter (TTL/GC policies)."""
+
+import pytest
+
+from repro.lsm.db import DB
+from repro.lsm.options import Options
+from repro.sim.clock import SimClock
+from repro.storage.env import LocalEnv
+from repro.storage.local import LocalDevice
+
+
+def options_with_filter(keep, **kw):
+    defaults = dict(
+        write_buffer_size=4 << 10,
+        block_size=512,
+        max_bytes_for_level_base=16 << 10,
+        target_file_size_base=4 << 10,
+        block_cache_bytes=0,
+        compaction_filter=keep,
+    )
+    defaults.update(kw)
+    return Options(**defaults)
+
+
+def open_db(keep, **kw):
+    return DB.open(LocalEnv(LocalDevice(SimClock())), "db/", options_with_filter(keep, **kw))
+
+
+class TestCompactionFilter:
+    def test_filtered_entries_vanish_after_full_compaction(self):
+        # Retire every value marked expired.
+        db = open_db(lambda key, value: not value.startswith(b"EXPIRED"))
+        for i in range(200):
+            marker = b"EXPIRED" if i % 2 == 0 else b"live"
+            db.put(f"k{i:04d}".encode(), marker + b"-payload")
+        db.compact_range()
+        survivors = dict(db.scan())
+        assert len(survivors) == 100
+        assert all(v.startswith(b"live") for v in survivors.values())
+        assert db.compaction_stats.entries_filtered >= 100
+        db.close()
+
+    def test_filter_is_a_persistent_delete(self):
+        db = open_db(lambda key, value: key < b"k0100")
+        for i in range(200):
+            db.put(f"k{i:04d}".encode(), b"v")
+        db.compact_range()
+        assert db.get(b"k0099") == b"v"
+        assert db.get(b"k0150") is None
+        db.close()
+
+    def test_snapshot_protected_entries_not_filtered(self):
+        db = open_db(lambda key, value: False)  # retire everything eligible
+        for i in range(100):
+            db.put(f"k{i:03d}".encode(), b"v")
+        snap = db.snapshot()
+        db.compact_range()
+        # The snapshot pins sequences: entries it can see must survive.
+        assert db.get(b"k050", snapshot=snap) == b"v"
+        db.release_snapshot(snap)
+        db.compact_range()
+        assert db.get(b"k050") is None
+        db.close()
+
+    def test_no_filter_keeps_everything(self):
+        db = open_db(None)
+        for i in range(100):
+            db.put(f"k{i:03d}".encode(), b"v")
+        db.compact_range()
+        assert len(list(db.scan())) == 100
+        assert db.compaction_stats.entries_filtered == 0
+        db.close()
+
+    def test_filter_with_universal_style_no_resurrection(self):
+        """A filtered entry in a young run must not resurrect an older
+        version buried in an old run (conversion to tombstone, not drop)."""
+        db = open_db(
+            lambda key, value: not value.startswith(b"GONE"),
+            compaction_style="universal",
+            target_file_size_base=1 << 20,
+        )
+        # Old generation: plain values, flushed into an old run.
+        for i in range(300):
+            db.put(f"k{i:04d}".encode(), b"old-value")
+        db.flush()
+        # New generation: values the filter retires.
+        for i in range(300):
+            db.put(f"k{i:04d}".encode(), b"GONE")
+        for round_ in range(6):  # churn to force partial merges
+            for i in range(100):
+                db.put(f"pad{round_}-{i:04d}".encode(), b"x" * 60)
+        for i in range(0, 300, 13):
+            assert db.get(f"k{i:04d}".encode()) in (None, b"GONE"), i
+        db.close()
+
+    def test_ttl_style_filter(self):
+        """A TTL policy: values embed an expiry stamp; compaction purges."""
+        now = 1000
+
+        def keep(key, value):
+            expiry = int(value.split(b"|")[0])
+            return expiry > now
+
+        db = open_db(keep)
+        for i in range(100):
+            expiry = 500 if i < 50 else 2000
+            db.put(f"k{i:03d}".encode(), f"{expiry}|data".encode())
+        db.compact_range()
+        alive = dict(db.scan())
+        assert len(alive) == 50
+        assert all(int(v.split(b"|")[0]) > now for v in alive.values())
+        db.close()

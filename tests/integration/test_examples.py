@@ -1,0 +1,25 @@
+"""Smoke tests: every example script must run to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted((pathlib.Path(__file__).parents[2] / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, f"{script.name} failed:\n{result.stderr[-2000:]}"
+    assert result.stdout.strip(), f"{script.name} produced no output"
+
+
+def test_examples_discovered():
+    assert len(EXAMPLES) >= 3, "expected at least three example scripts"

@@ -1,0 +1,140 @@
+"""Integration tests for reverse scans and the properties API."""
+
+import random
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.lsm.db import DB
+from repro.lsm.options import Options
+from repro.mash.store import RocksMashStore, StoreConfig
+from repro.sim.clock import SimClock
+from repro.storage.env import LocalEnv
+from repro.storage.local import LocalDevice
+
+
+def small_options():
+    return Options(
+        write_buffer_size=4 << 10,
+        block_size=512,
+        max_bytes_for_level_base=16 << 10,
+        target_file_size_base=4 << 10,
+        block_cache_bytes=0,
+    )
+
+
+@pytest.fixture
+def db():
+    database = DB.open(LocalEnv(LocalDevice(SimClock())), "db/", small_options())
+    yield database
+    database.close()
+
+
+def fill(db, n=400):
+    for i in range(n):
+        db.put(f"key{i:05d}".encode(), f"v{i}".encode())
+
+
+class TestReverseScan:
+    def test_mirror_of_forward(self, db):
+        fill(db)
+        db.flush()
+        fill(db, 50)  # overwrite a prefix, keep some in the memtable
+        forward = list(db.scan())
+        backward = list(db.scan_reverse())
+        assert backward == forward[::-1]
+
+    def test_range_bounds(self, db):
+        fill(db, 100)
+        got = list(db.scan_reverse(b"key00010", b"key00020"))
+        assert [k for k, _ in got] == [
+            f"key{i:05d}".encode() for i in range(19, 9, -1)
+        ]
+
+    def test_tombstones_hidden(self, db):
+        fill(db, 50)
+        db.flush()
+        db.delete(b"key00025")
+        keys = [k for k, _ in db.scan_reverse()]
+        assert b"key00025" not in keys
+        assert len(keys) == 49
+
+    def test_newest_value_wins(self, db):
+        db.put(b"k", b"old")
+        db.flush()
+        db.put(b"k", b"new")
+        assert list(db.scan_reverse()) == [(b"k", b"new")]
+
+    def test_snapshot_respected(self, db):
+        db.put(b"a", b"1")
+        snap = db.snapshot()
+        db.put(b"a", b"2")
+        db.put(b"b", b"3")
+        assert list(db.scan_reverse(snapshot=snap)) == [(b"a", b"1")]
+        db.release_snapshot(snap)
+
+    def test_across_compacted_levels(self, db):
+        for i in range(3000):
+            db.put(f"key{i % 600:05d}".encode(), f"gen{i}".encode())
+        db.compact_range()
+        forward = list(db.scan())
+        assert list(db.scan_reverse()) == forward[::-1]
+
+    def test_empty_db(self, db):
+        assert list(db.scan_reverse()) == []
+
+    def test_random_ops_mirror_property(self, db):
+        rng = random.Random(3)
+        for step in range(1500):
+            k = f"key{rng.randrange(300):04d}".encode()
+            if rng.random() < 0.7:
+                db.put(k, f"v{step}".encode())
+            else:
+                db.delete(k)
+        assert list(db.scan_reverse()) == list(db.scan())[::-1]
+
+    def test_store_facade_reverse(self):
+        store = RocksMashStore.create(StoreConfig().small())
+        for i in range(1000):
+            store.put(f"key{i:05d}".encode(), b"v")
+        got = store.scan_reverse(limit=5)
+        assert [k for k, _ in got] == [
+            f"key{i:05d}".encode() for i in range(999, 994, -1)
+        ]
+
+
+class TestProperties:
+    def test_int_properties(self, db):
+        fill(db, 300)
+        db.flush()
+        assert db.get_property("repro.num-files-at-level0") >= 1
+        assert db.get_property("repro.total-sst-bytes") > 0
+        assert db.get_property("repro.num-entries-memtable") == 0
+        assert db.get_property("repro.last-sequence") == 300
+        assert db.get_property("repro.manifest-bytes") > 0
+        snap = db.snapshot()
+        assert db.get_property("repro.num-snapshots") == 1
+        db.release_snapshot(snap)
+
+    def test_string_properties(self, db):
+        fill(db, 300)
+        db.flush()
+        stats = db.get_property("repro.compaction-stats")
+        assert "flushes=" in stats
+        levels = db.get_property("repro.levels")
+        assert levels.startswith("level")
+
+    def test_memtable_properties(self, db):
+        db.put(b"k", b"v" * 100)
+        assert db.get_property("repro.num-entries-memtable") == 1
+        assert db.get_property("repro.approximate-memory-usage") > 100
+
+    def test_unknown_property_raises(self, db):
+        with pytest.raises(InvalidArgumentError):
+            db.get_property("repro.nonsense")
+        with pytest.raises(InvalidArgumentError):
+            db.get_property("rocksdb.stats")
+        with pytest.raises(InvalidArgumentError):
+            db.get_property("repro.num-files-at-levelX")
+        with pytest.raises(InvalidArgumentError):
+            db.get_property("repro.num-files-at-level99")

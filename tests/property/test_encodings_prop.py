@@ -1,0 +1,205 @@
+"""Property-based tests for encodings and on-disk record formats."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsm.format import BlockHandle, decode_handle, encode_handle
+from repro.lsm.version import FileMetaData, VersionEdit
+from repro.lsm.wal import LogReader, RECORD_HEADER_SIZE
+from repro.lsm.write_batch import WriteBatch
+from repro.mash.xwal import decode_shard_record, encode_shard_record
+from repro.util.crc import crc32, mask, masked_crc32, unmask, verify_masked_crc32
+from repro.util.encoding import (
+    TYPE_DELETION,
+    TYPE_VALUE,
+    compare_internal,
+    make_internal_key,
+    parse_internal_key,
+)
+from repro.util.varint import (
+    decode_varint,
+    encode_varint,
+    get_length_prefixed,
+    put_length_prefixed,
+)
+
+keys = st.binary(min_size=0, max_size=64)
+values = st.binary(min_size=0, max_size=256)
+sequences = st.integers(min_value=0, max_value=(1 << 56) - 1)
+
+
+class TestVarint:
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_roundtrip(self, value):
+        decoded, end = decode_varint(encode_varint(value))
+        assert decoded == value
+
+    @given(st.lists(st.binary(max_size=100), max_size=20))
+    def test_length_prefixed_stream(self, chunks):
+        out = bytearray()
+        for chunk in chunks:
+            put_length_prefixed(out, chunk)
+        pos = 0
+        decoded = []
+        for _ in chunks:
+            chunk, pos = get_length_prefixed(bytes(out), pos)
+            decoded.append(chunk)
+        assert decoded == chunks
+        assert pos == len(out)
+
+
+class TestCrc:
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_mask_bijective(self, value):
+        assert unmask(mask(value)) == value
+
+    @given(st.binary(max_size=500))
+    def test_verify_accepts(self, data):
+        assert verify_masked_crc32(data, masked_crc32(data))
+
+    @given(st.binary(min_size=1, max_size=200), st.integers(0, 7))
+    def test_bitflip_detected(self, data, bit):
+        stored = masked_crc32(data)
+        corrupted = bytearray(data)
+        corrupted[0] ^= 1 << bit
+        assert not verify_masked_crc32(bytes(corrupted), stored)
+
+    @given(st.binary(max_size=100), st.binary(max_size=100))
+    def test_chaining_equals_concat(self, a, b):
+        assert crc32(a + b) == crc32(b, seed=crc32(a))
+
+
+class TestInternalKey:
+    @given(keys, sequences, st.sampled_from([TYPE_VALUE, TYPE_DELETION]))
+    def test_roundtrip(self, user_key, seq, vtype):
+        parsed = parse_internal_key(make_internal_key(user_key, seq, vtype))
+        assert (parsed.user_key, parsed.sequence, parsed.value_type) == (
+            user_key,
+            seq,
+            vtype,
+        )
+
+    @given(
+        st.lists(
+            st.tuples(keys, sequences, st.sampled_from([TYPE_VALUE, TYPE_DELETION])),
+            min_size=2,
+            max_size=30,
+        )
+    )
+    def test_order_matches_reference(self, parts):
+        """compare_internal == (user_key asc, (seq, type) desc)."""
+        import functools
+
+        ikeys = [make_internal_key(k, s, t) for k, s, t in parts]
+        got = sorted(ikeys, key=functools.cmp_to_key(compare_internal))
+        ref = sorted(ikeys, key=lambda ik: (
+            parse_internal_key(ik).user_key,
+            -((parse_internal_key(ik).sequence << 8) | parse_internal_key(ik).value_type),
+        ))
+        assert got == ref
+
+
+class TestHandles:
+    @given(st.integers(0, 2**48), st.integers(0, 2**32))
+    def test_roundtrip(self, offset, size):
+        handle, _ = decode_handle(encode_handle(BlockHandle(offset, size)))
+        assert handle == BlockHandle(offset, size)
+
+
+batch_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), keys, values),
+        st.tuples(st.just("del"), keys, st.just(b"")),
+    ),
+    max_size=30,
+)
+
+
+class TestWriteBatch:
+    @given(batch_ops, sequences)
+    def test_roundtrip(self, ops, seq):
+        batch = WriteBatch()
+        for kind, k, v in ops:
+            if kind == "put":
+                batch.put(k, v)
+            else:
+                batch.delete(k)
+        batch.sequence = seq
+        decoded = WriteBatch.decode(batch.encode())
+        assert decoded.sequence == seq
+        assert [(o.value_type, o.key, o.value) for o in decoded] == [
+            (TYPE_VALUE if kind == "put" else TYPE_DELETION, k, v) for kind, k, v in ops
+        ]
+
+
+class TestWalFraming:
+    @given(st.lists(st.binary(max_size=300), max_size=15))
+    def test_roundtrip(self, records):
+        from repro.util.crc import masked_crc32 as mc
+        from repro.util.encoding import encode_fixed32
+
+        stream = bytearray()
+        for payload in records:
+            stream += encode_fixed32(mc(payload)) + encode_fixed32(len(payload)) + payload
+        assert list(LogReader(bytes(stream))) == records
+
+    @given(st.lists(st.binary(min_size=1, max_size=100), min_size=1, max_size=8), st.data())
+    def test_truncation_yields_prefix(self, records, data):
+        """Any truncation recovers a prefix of the records, never garbage."""
+        from repro.util.crc import masked_crc32 as mc
+        from repro.util.encoding import encode_fixed32
+
+        stream = bytearray()
+        for payload in records:
+            stream += encode_fixed32(mc(payload)) + encode_fixed32(len(payload)) + payload
+        cut = data.draw(st.integers(0, len(stream)))
+        recovered = list(LogReader(bytes(stream[:cut])))
+        assert recovered == records[: len(recovered)]
+        assert len(recovered) <= len(records)
+
+
+class TestXWalRecord:
+    @given(
+        st.lists(
+            st.tuples(
+                sequences,
+                st.sampled_from([TYPE_VALUE, TYPE_DELETION]),
+                keys,
+                values,
+            ),
+            max_size=20,
+        )
+    )
+    def test_roundtrip(self, ops):
+        ops = [
+            (s, t, k, v if t == TYPE_VALUE else b"") for s, t, k, v in ops
+        ]
+        assert decode_shard_record(encode_shard_record(ops)) == ops
+
+
+class TestVersionEdit:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 6), st.integers(1, 1000), keys, keys),
+            max_size=10,
+        ),
+        st.sets(st.tuples(st.integers(0, 6), st.integers(1, 1000)), max_size=10),
+    )
+    @settings(max_examples=50)
+    def test_roundtrip(self, new_files, deleted):
+        edit = VersionEdit(log_number=3, next_file_number=50, last_sequence=99)
+        for level, number, lo, hi in new_files:
+            edit.add_file(
+                level,
+                FileMetaData(
+                    number,
+                    1000,
+                    make_internal_key(min(lo, hi), 5, TYPE_VALUE),
+                    make_internal_key(max(lo, hi), 5, TYPE_VALUE),
+                ),
+            )
+        edit.deleted_files = deleted
+        decoded = VersionEdit.decode(edit.encode())
+        assert decoded.new_files == edit.new_files
+        assert decoded.deleted_files == deleted
+        assert decoded.last_sequence == 99

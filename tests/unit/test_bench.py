@@ -1,0 +1,73 @@
+"""Unit tests for the report table and bench harness."""
+
+import pytest
+
+from repro.bench.harness import SYSTEMS, HarnessKnobs, make_store
+from repro.bench.report import Table
+
+
+class TestTable:
+    def test_render_aligned(self):
+        t = Table("demo", ["name", "value"])
+        t.add_row("alpha", 1.2345)
+        t.add_row("b", 10000.0)
+        text = t.render()
+        assert "== demo ==" in text
+        assert "alpha" in text and "10,000" in text
+
+    def test_notes_rendered(self):
+        t = Table("demo", ["x"], notes=["a note"])
+        assert "note: a note" in t.render()
+
+    def test_column_and_lookup(self):
+        t = Table("demo", ["system", "score"])
+        t.add_row("a", 1.0)
+        t.add_row("b", 2.0)
+        assert t.column("score") == [1.0, 2.0]
+        assert t.cell("b", "score") == 2.0
+        with pytest.raises(KeyError):
+            t.cell("zz", "score")
+
+    def test_float_formatting(self):
+        t = Table("demo", ["v"])
+        t.add_row(0.000123)
+        t.add_row(0)
+        text = t.render()
+        assert "0.000123" in text
+
+
+class TestHarness:
+    def test_all_systems_constructible(self):
+        for system in SYSTEMS:
+            store = make_store(system)
+            store.put(b"k", b"v")
+            assert store.get(b"k") == b"v"
+            assert store.name == system
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            make_store("spanner")
+
+    def test_cloud_rtt_knob_respected(self):
+        slow = make_store("cloud-only", HarnessKnobs(cloud_rtt=0.2))
+        fast = make_store("cloud-only", HarnessKnobs(cloud_rtt=0.001))
+        slow.put(b"k", b"v")
+        fast.put(b"k", b"v")
+        assert slow.clock.now > fast.clock.now
+
+    def test_pin_metadata_ablation(self):
+        store = make_store("rocksmash", HarnessKnobs(pin_metadata=False))
+        for i in range(2000):
+            store.put(f"k{i:05d}".encode(), b"v" * 100)
+        store.flush()
+        assert store.pcache.meta_bytes == 0
+
+    def test_xwal_shards_knob(self):
+        store = make_store("rocksmash", HarnessKnobs(xwal_shards=7))
+        store.put(b"k", b"v")
+        xlogs = [n for n in store.env.list_files("db/") if n.endswith(".xlog")]
+        assert len(xlogs) == 7
+
+    def test_layout_knob(self):
+        naive = make_store("rocksmash", HarnessKnobs(layout_aware=False))
+        assert naive.heat.config.aware is False

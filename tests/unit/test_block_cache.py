@@ -1,0 +1,67 @@
+"""Unit tests for the DRAM LRU block cache."""
+
+import pytest
+
+from repro.lsm.block_cache import LRUBlockCache
+
+
+class TestLRUBlockCache:
+    def test_miss_then_hit(self):
+        cache = LRUBlockCache(1000)
+        assert cache.get("f", 0) is None
+        cache.put("f", 0, b"payload")
+        assert cache.get("f", 0) == b"payload"
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_ratio == pytest.approx(0.5)
+
+    def test_eviction_lru_order(self):
+        cache = LRUBlockCache(30)
+        cache.put("f", 0, b"x" * 10)
+        cache.put("f", 1, b"x" * 10)
+        cache.put("f", 2, b"x" * 10)
+        cache.get("f", 0)  # refresh 0
+        cache.put("f", 3, b"x" * 10)  # evicts 1 (LRU)
+        assert cache.get("f", 0) is not None
+        assert cache.get("f", 1) is None
+        assert cache.get("f", 3) is not None
+
+    def test_oversized_entry_not_cached(self):
+        cache = LRUBlockCache(10)
+        cache.put("f", 0, b"x" * 100)
+        assert cache.get("f", 0) is None
+        assert cache.used_bytes == 0
+
+    def test_replace_same_key(self):
+        cache = LRUBlockCache(100)
+        cache.put("f", 0, b"a" * 10)
+        cache.put("f", 0, b"b" * 20)
+        assert cache.get("f", 0) == b"b" * 20
+        assert cache.used_bytes == 20
+
+    def test_evict_file(self):
+        cache = LRUBlockCache(1000)
+        cache.put("f1", 0, b"x")
+        cache.put("f1", 10, b"y")
+        cache.put("f2", 0, b"z")
+        assert cache.evict_file("f1") == 2
+        assert cache.get("f1", 0) is None
+        assert cache.get("f2", 0) == b"z"
+
+    def test_clear(self):
+        cache = LRUBlockCache(1000)
+        cache.put("f", 0, b"x")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.used_bytes == 0
+
+    def test_budget_respected(self):
+        cache = LRUBlockCache(100)
+        for i in range(50):
+            cache.put("f", i, b"x" * 10)
+        assert cache.used_bytes <= 100
+        assert len(cache) <= 10
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUBlockCache(-1)

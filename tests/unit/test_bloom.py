@@ -1,0 +1,53 @@
+"""Unit tests for the bloom filter policy."""
+
+from repro.util.bloom import BloomFilterPolicy
+
+
+class TestBloom:
+    def test_added_keys_always_match(self):
+        policy = BloomFilterPolicy(bits_per_key=10)
+        keys = [f"key-{i}".encode() for i in range(500)]
+        filt = policy.create_filter(keys)
+        assert all(policy.key_may_match(k, filt) for k in keys)
+
+    def test_empty_filter(self):
+        policy = BloomFilterPolicy()
+        filt = policy.create_filter([])
+        # An empty filter should reject (almost) everything.
+        assert not policy.key_may_match(b"anything", filt)
+
+    def test_false_positive_rate_reasonable(self):
+        policy = BloomFilterPolicy(bits_per_key=10)
+        keys = [f"present-{i}".encode() for i in range(1000)]
+        filt = policy.create_filter(keys)
+        absent = [f"absent-{i}".encode() for i in range(10000)]
+        fp = sum(policy.key_may_match(k, filt) for k in absent)
+        # 10 bits/key gives ~1% theoretical; allow generous slack.
+        assert fp / len(absent) < 0.05
+
+    def test_more_bits_fewer_false_positives(self):
+        keys = [f"k{i}".encode() for i in range(2000)]
+        absent = [f"a{i}".encode() for i in range(5000)]
+        rates = []
+        for bits in (4, 16):
+            policy = BloomFilterPolicy(bits_per_key=bits)
+            filt = policy.create_filter(keys)
+            rates.append(sum(policy.key_may_match(k, filt) for k in absent))
+        assert rates[1] < rates[0]
+
+    def test_degenerate_filter_is_conservative(self):
+        assert BloomFilterPolicy.key_may_match(b"k", b"")
+        assert BloomFilterPolicy.key_may_match(b"k", b"\xff")
+
+    def test_unknown_probe_count_is_conservative(self):
+        # Last byte 31 > 30 marks a reserved encoding; must not reject.
+        assert BloomFilterPolicy.key_may_match(b"k", b"\x00\x00\x1f")
+
+    def test_duplicate_keys_fine(self):
+        policy = BloomFilterPolicy()
+        filt = policy.create_filter([b"dup", b"dup", b"dup"])
+        assert policy.key_may_match(b"dup", filt)
+
+    def test_probe_count_bounds(self):
+        assert BloomFilterPolicy(bits_per_key=1).num_probes == 1
+        assert BloomFilterPolicy(bits_per_key=100).num_probes == 30

@@ -1,0 +1,142 @@
+"""Unit tests for the simulated cloud object store."""
+
+import pytest
+
+from repro.errors import IOErrorSim, NotFoundError
+from repro.sim.clock import SimClock
+from repro.sim.failure import FaultInjector, RetryPolicy
+from repro.storage.cloud import CloudObjectStore
+
+
+@pytest.fixture
+def store():
+    return CloudObjectStore(SimClock())
+
+
+class TestObjectAPI:
+    def test_put_get(self, store):
+        store.put("key", b"value")
+        assert store.get("key") == b"value"
+
+    def test_put_overwrites(self, store):
+        store.put("key", b"v1")
+        store.put("key", b"v2")
+        assert store.get("key") == b"v2"
+
+    def test_get_missing_raises(self, store):
+        with pytest.raises(NotFoundError):
+            store.get("missing")
+
+    def test_get_range(self, store):
+        store.put("k", b"0123456789")
+        assert store.get_range("k", 3, 4) == b"3456"
+        assert store.get_range("k", 8, 10) == b"89"
+        assert store.get_range("k", 50, 10) == b""
+
+    def test_get_range_negative_rejected(self, store):
+        store.put("k", b"abc")
+        with pytest.raises(ValueError):
+            store.get_range("k", -1, 2)
+
+    def test_head(self, store):
+        store.put("k", b"abcd")
+        assert store.head("k") == 4
+
+    def test_delete_idempotent(self, store):
+        store.put("k", b"v")
+        store.delete("k")
+        store.delete("k")  # no error, like S3
+        assert not store.exists("k")
+
+    def test_copy(self, store):
+        store.put("src", b"data")
+        store.copy("src", "dst")
+        assert store.get("dst") == b"data"
+        assert store.get("src") == b"data"
+
+    def test_list_keys(self, store):
+        for k in ["a/1", "a/2", "b/1"]:
+            store.put(k, b"x")
+        assert store.list_keys("a/") == ["a/1", "a/2"]
+        assert store.list_keys() == ["a/1", "a/2", "b/1"]
+
+    def test_used_bytes(self, store):
+        store.put("a", b"xx")
+        store.put("b", b"yyy")
+        assert store.used_bytes() == 5
+
+
+class TestMultipart:
+    def test_invisible_until_complete(self, store):
+        store.upload_part("obj", b"part1")
+        assert not store.exists("obj")
+        store.complete_multipart("obj", b"part1part2")
+        assert store.get("obj") == b"part1part2"
+
+
+class TestAccounting:
+    def test_requests_charge_rtt(self):
+        clock = SimClock()
+        store = CloudObjectStore(clock)
+        store.put("k", b"v")
+        t = clock.now
+        assert t >= store.model.write_latency
+        store.get("k")
+        assert clock.now > t
+
+    def test_ranged_get_cheaper_than_full(self):
+        clock = SimClock()
+        store = CloudObjectStore(clock)
+        store.put("k", b"x" * 10_000_000)
+        t0 = clock.now
+        store.get_range("k", 0, 4096)
+        ranged = clock.now - t0
+        t1 = clock.now
+        store.get("k")
+        full = clock.now - t1
+        assert ranged < full / 5
+
+    def test_counters(self, store):
+        store.put("k", b"12345")
+        store.get("k")
+        store.get_range("k", 0, 2)
+        assert store.counters.get("cloud.put_ops") == 1
+        assert store.counters.get("cloud.put_bytes") == 5
+        assert store.counters.get("cloud.get_ops") == 2
+        assert store.counters.get("cloud.get_bytes") == 7
+
+
+class TestRetries:
+    def test_transient_fault_retried(self):
+        clock = SimClock()
+        faults = FaultInjector()
+        store = CloudObjectStore(clock, faults=faults)
+        store.put("k", b"v")
+        faults.schedule_failure("throttle")
+        assert store.get("k") == b"v"  # retried transparently
+        assert store.counters.get("cloud.retries") == 1
+
+    def test_retry_charges_backoff_time(self):
+        clock = SimClock()
+        faults = FaultInjector()
+        retry = RetryPolicy(initial_backoff=0.5)
+        store = CloudObjectStore(clock, faults=faults, retry=retry)
+        store.put("k", b"v")
+        t0 = clock.now
+        store.get("k")
+        clean = clock.now - t0
+        faults.schedule_failure()
+        t1 = clock.now
+        store.get("k")
+        faulty = clock.now - t1
+        assert faulty >= clean + 0.5
+
+    def test_exhausted_retries_raise(self):
+        faults = FaultInjector()
+        retry = RetryPolicy(max_attempts=3, initial_backoff=0.001)
+        store = CloudObjectStore(SimClock(), faults=faults, retry=retry)
+        store.put("k", b"v")
+        for _ in range(3):
+            faults.schedule_failure()
+        with pytest.raises(IOErrorSim):
+            store.get("k")

@@ -1,0 +1,94 @@
+"""Unit tests for the cost model and the error hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ClosedError,
+    CorruptionError,
+    InvalidArgumentError,
+    IOErrorSim,
+    NotFoundError,
+    RecoveryError,
+    ReproError,
+)
+from repro.storage.cost import GB, CostModel, MonthlyBill
+
+
+class TestCostModel:
+    def test_storage_cost_linear(self):
+        model = CostModel(local_gb_month=0.10, cloud_gb_month=0.023)
+        assert model.storage_cost(GB, 0) == pytest.approx(0.10)
+        assert model.storage_cost(0, GB) == pytest.approx(0.023)
+        assert model.storage_cost(2 * GB, 10 * GB) == pytest.approx(0.2 + 0.23)
+
+    def test_cloud_cheaper_per_gb(self):
+        model = CostModel()
+        assert model.storage_cost(0, GB) < model.storage_cost(GB, 0) / 3
+
+    def test_request_cost(self):
+        model = CostModel(cloud_put_request=5e-6, cloud_get_request=4e-7, cloud_egress_gb=0.01)
+        cost = model.request_cost(put_ops=1000, get_ops=10000, egress_bytes=GB)
+        assert cost == pytest.approx(1000 * 5e-6 + 10000 * 4e-7 + 0.01)
+
+    def test_monthly_bill_extrapolates(self):
+        model = CostModel()
+        bill = model.monthly_bill(
+            local_bytes=GB,
+            cloud_bytes=0,
+            put_ops=10,
+            get_ops=0,
+            egress_bytes=0,
+            window_seconds=30 * 24 * 3600,  # exactly one month: scale = 1
+        )
+        assert bill.storage == pytest.approx(0.10)
+        assert bill.requests == pytest.approx(10 * model.cloud_put_request)
+        assert bill.total == pytest.approx(bill.storage + bill.requests)
+
+    def test_shorter_window_scales_up(self):
+        model = CostModel()
+        day = model.monthly_bill(
+            local_bytes=0, cloud_bytes=0, put_ops=10, get_ops=0,
+            egress_bytes=0, window_seconds=24 * 3600,
+        )
+        month = model.monthly_bill(
+            local_bytes=0, cloud_bytes=0, put_ops=10, get_ops=0,
+            egress_bytes=0, window_seconds=30 * 24 * 3600,
+        )
+        assert day.requests == pytest.approx(month.requests * 30)
+
+    def test_zero_window_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().monthly_bill(
+                local_bytes=0, cloud_bytes=0, put_ops=0, get_ops=0,
+                egress_bytes=0, window_seconds=0,
+            )
+
+    def test_bill_immutable(self):
+        bill = MonthlyBill(storage=1.0, requests=2.0)
+        with pytest.raises(Exception):
+            bill.storage = 5.0
+
+
+class TestErrorHierarchy:
+    def test_all_subclass_repro_error(self):
+        for exc in (CorruptionError, NotFoundError, InvalidArgumentError,
+                    IOErrorSim, ClosedError, RecoveryError):
+            assert issubclass(exc, ReproError)
+
+    def test_not_found_is_key_error(self):
+        with pytest.raises(KeyError):
+            raise NotFoundError("missing thing")
+
+    def test_not_found_message_clean(self):
+        # KeyError repr()s its args by default; ours must read as a message.
+        assert str(NotFoundError("file x is gone")) == "file x is gone"
+
+    def test_invalid_argument_is_value_error(self):
+        with pytest.raises(ValueError):
+            raise InvalidArgumentError("bad")
+
+    def test_catch_all(self):
+        try:
+            raise CorruptionError("bit rot")
+        except ReproError as exc:
+            assert "bit rot" in str(exc)

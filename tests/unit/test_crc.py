@@ -1,0 +1,39 @@
+"""Unit tests for masked CRC checksums."""
+
+from repro.util.crc import crc32, mask, masked_crc32, unmask, verify_masked_crc32
+
+
+class TestCrc:
+    def test_deterministic(self):
+        assert crc32(b"hello") == crc32(b"hello")
+
+    def test_different_data_differs(self):
+        assert crc32(b"hello") != crc32(b"hellp")
+
+    def test_chained_seed(self):
+        whole = crc32(b"ab")
+        chained = crc32(b"b", seed=crc32(b"a"))
+        assert whole == chained
+
+    def test_empty(self):
+        assert crc32(b"") == 0
+
+
+class TestMasking:
+    def test_mask_roundtrip(self):
+        for value in [0, 1, 0xDEADBEEF, 0xFFFFFFFF, crc32(b"data")]:
+            assert unmask(mask(value)) == value
+
+    def test_mask_changes_value(self):
+        value = crc32(b"payload")
+        assert mask(value) != value
+
+    def test_verify_accepts_valid(self):
+        data = b"record payload"
+        assert verify_masked_crc32(data, masked_crc32(data))
+
+    def test_verify_rejects_corruption(self):
+        data = b"record payload"
+        stored = masked_crc32(data)
+        assert not verify_masked_crc32(data + b"x", stored)
+        assert not verify_masked_crc32(data, stored ^ 1)

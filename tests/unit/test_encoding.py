@@ -1,0 +1,100 @@
+"""Unit tests for internal key encoding and comparison."""
+
+import pytest
+
+from repro.errors import CorruptionError
+from repro.util.encoding import (
+    MAX_SEQUENCE,
+    TYPE_DELETION,
+    TYPE_VALUE,
+    InternalKeyOrder,
+    compare_internal,
+    decode_fixed32,
+    decode_fixed64,
+    encode_fixed32,
+    encode_fixed64,
+    extract_user_key,
+    make_internal_key,
+    parse_internal_key,
+)
+
+
+class TestFixed:
+    def test_fixed32_roundtrip(self):
+        for v in [0, 1, 0xFFFFFFFF, 123456]:
+            assert decode_fixed32(encode_fixed32(v)) == v
+
+    def test_fixed64_roundtrip(self):
+        for v in [0, 1, 2**63, 2**64 - 1]:
+            assert decode_fixed64(encode_fixed64(v)) == v
+
+    def test_fixed32_little_endian(self):
+        assert encode_fixed32(1) == b"\x01\x00\x00\x00"
+
+
+class TestInternalKey:
+    def test_roundtrip(self):
+        ikey = make_internal_key(b"user", 42, TYPE_VALUE)
+        parsed = parse_internal_key(ikey)
+        assert parsed.user_key == b"user"
+        assert parsed.sequence == 42
+        assert parsed.value_type == TYPE_VALUE
+
+    def test_empty_user_key(self):
+        ikey = make_internal_key(b"", 7, TYPE_DELETION)
+        parsed = parse_internal_key(ikey)
+        assert parsed.user_key == b""
+        assert parsed.sequence == 7
+        assert parsed.value_type == TYPE_DELETION
+
+    def test_max_sequence(self):
+        ikey = make_internal_key(b"k", MAX_SEQUENCE, TYPE_VALUE)
+        assert parse_internal_key(ikey).sequence == MAX_SEQUENCE
+
+    def test_sequence_out_of_range(self):
+        with pytest.raises(ValueError):
+            make_internal_key(b"k", MAX_SEQUENCE + 1, TYPE_VALUE)
+
+    def test_too_short_raises(self):
+        with pytest.raises(CorruptionError):
+            parse_internal_key(b"short")
+
+    def test_extract_user_key(self):
+        assert extract_user_key(make_internal_key(b"abc", 1, TYPE_VALUE)) == b"abc"
+
+
+class TestInternalOrder:
+    def test_user_key_ascending(self):
+        a = make_internal_key(b"a", 5, TYPE_VALUE)
+        b = make_internal_key(b"b", 5, TYPE_VALUE)
+        assert compare_internal(a, b) < 0
+        assert compare_internal(b, a) > 0
+
+    def test_sequence_descending_within_user_key(self):
+        newer = make_internal_key(b"k", 10, TYPE_VALUE)
+        older = make_internal_key(b"k", 5, TYPE_VALUE)
+        assert compare_internal(newer, older) < 0  # newer sorts first
+
+    def test_type_breaks_ties(self):
+        put = make_internal_key(b"k", 5, TYPE_VALUE)
+        delete = make_internal_key(b"k", 5, TYPE_DELETION)
+        assert compare_internal(put, delete) < 0  # higher type first
+
+    def test_equal(self):
+        a = make_internal_key(b"k", 5, TYPE_VALUE)
+        assert compare_internal(a, bytes(a)) == 0
+
+    def test_prefix_user_keys(self):
+        # b"a" < b"ab" as user keys regardless of trailer bytes
+        short = make_internal_key(b"a", 1, TYPE_VALUE)
+        long = make_internal_key(b"ab", 9999, TYPE_VALUE)
+        assert compare_internal(short, long) < 0
+
+    def test_sorted_adaptor(self):
+        keys = [
+            make_internal_key(b"b", 1, TYPE_VALUE),
+            make_internal_key(b"a", 2, TYPE_VALUE),
+            make_internal_key(b"a", 9, TYPE_VALUE),
+        ]
+        ordered = sorted(keys, key=InternalKeyOrder)
+        assert ordered == [keys[2], keys[1], keys[0]]

@@ -1,0 +1,79 @@
+"""Unit tests for the memtable."""
+
+from repro.lsm.memtable import GetResult, MemTable
+from repro.util.encoding import TYPE_DELETION, TYPE_VALUE, make_internal_key, parse_internal_key
+
+
+class TestMemTable:
+    def test_empty(self):
+        mt = MemTable()
+        assert len(mt) == 0
+        assert mt.get(b"k", 100).state == GetResult.ABSENT
+
+    def test_put_get(self):
+        mt = MemTable()
+        mt.add(1, TYPE_VALUE, b"k", b"v")
+        result = mt.get(b"k", 100)
+        assert result.state == GetResult.FOUND
+        assert result.value == b"v"
+
+    def test_newest_wins(self):
+        mt = MemTable()
+        mt.add(1, TYPE_VALUE, b"k", b"old")
+        mt.add(2, TYPE_VALUE, b"k", b"new")
+        assert mt.get(b"k", 100).value == b"new"
+
+    def test_snapshot_visibility(self):
+        mt = MemTable()
+        mt.add(1, TYPE_VALUE, b"k", b"v1")
+        mt.add(5, TYPE_VALUE, b"k", b"v5")
+        assert mt.get(b"k", 1).value == b"v1"
+        assert mt.get(b"k", 4).value == b"v1"
+        assert mt.get(b"k", 5).value == b"v5"
+        assert mt.get(b"k", 0).state == GetResult.ABSENT
+
+    def test_delete_marks_deleted(self):
+        mt = MemTable()
+        mt.add(1, TYPE_VALUE, b"k", b"v")
+        mt.add(2, TYPE_DELETION, b"k", b"")
+        assert mt.get(b"k", 100).state == GetResult.DELETED
+        assert mt.get(b"k", 1).state == GetResult.FOUND
+
+    def test_absent_vs_other_keys(self):
+        mt = MemTable()
+        mt.add(1, TYPE_VALUE, b"apple", b"v")
+        mt.add(2, TYPE_VALUE, b"cherry", b"v")
+        assert mt.get(b"banana", 100).state == GetResult.ABSENT
+
+    def test_iteration_order(self):
+        mt = MemTable()
+        mt.add(3, TYPE_VALUE, b"b", b"v3")
+        mt.add(1, TYPE_VALUE, b"a", b"v1")
+        mt.add(2, TYPE_VALUE, b"b", b"v2")
+        entries = list(mt)
+        user_keys = [parse_internal_key(ik).user_key for ik, _ in entries]
+        seqs = [parse_internal_key(ik).sequence for ik, _ in entries]
+        assert user_keys == [b"a", b"b", b"b"]
+        assert seqs == [1, 3, 2]  # newest first within a user key
+
+    def test_seek(self):
+        mt = MemTable()
+        for i, key in enumerate([b"a", b"c", b"e"]):
+            mt.add(i + 1, TYPE_VALUE, key, b"v")
+        target = make_internal_key(b"b", 2**50, TYPE_VALUE)
+        got = [parse_internal_key(ik).user_key for ik, _ in mt.seek(target)]
+        assert got == [b"c", b"e"]
+
+    def test_memory_usage_grows(self):
+        mt = MemTable()
+        assert mt.approximate_memory_usage() == 0
+        mt.add(1, TYPE_VALUE, b"key", b"x" * 1000)
+        assert mt.approximate_memory_usage() > 1000
+
+    def test_value_with_embedded_ikey_lookalike(self):
+        # Values are opaque; bytes that resemble keys must not confuse it.
+        mt = MemTable()
+        evil = make_internal_key(b"other", 99, TYPE_VALUE)
+        mt.add(1, TYPE_VALUE, b"k", evil)
+        assert mt.get(b"k", 100).value == evil
+        assert mt.get(b"other", 100).state == GetResult.ABSENT

@@ -1,0 +1,108 @@
+"""Unit tests for counters and latency histograms."""
+
+import pytest
+
+from repro.metrics.counters import CounterSet
+from repro.metrics.latency import LatencyHistogram
+
+
+class TestCounterSet:
+    def test_zero_default(self):
+        assert CounterSet().get("anything") == 0
+
+    def test_inc(self):
+        c = CounterSet()
+        c.inc("ops")
+        c.inc("ops", 5)
+        assert c.get("ops") == 6
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CounterSet().inc("x", -1)
+
+    def test_snapshot_is_copy(self):
+        c = CounterSet()
+        c.inc("a")
+        snap = c.snapshot()
+        c.inc("a")
+        assert snap == {"a": 1}
+
+    def test_ratio(self):
+        c = CounterSet()
+        c.inc("hits", 3)
+        c.inc("lookups", 4)
+        assert c.ratio("hits", "lookups") == pytest.approx(0.75)
+        assert c.ratio("hits", "nothing") == 0.0
+
+    def test_reset(self):
+        c = CounterSet()
+        c.inc("a", 10)
+        c.reset()
+        assert c.get("a") == 0
+
+    def test_iteration_sorted(self):
+        c = CounterSet()
+        c.inc("z")
+        c.inc("a")
+        assert [k for k, _ in c] == ["a", "z"]
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        h = LatencyHistogram()
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.percentile(50) == 0.0
+
+    def test_single_sample(self):
+        h = LatencyHistogram()
+        h.record(0.01)
+        assert h.count == 1
+        assert h.mean == pytest.approx(0.01)
+        assert h.percentile(50) == pytest.approx(0.01, rel=0.1)
+
+    def test_percentiles_ordered(self):
+        h = LatencyHistogram()
+        for i in range(1, 1001):
+            h.record(i / 1000.0)
+        p50, p90, p99 = h.percentile(50), h.percentile(90), h.percentile(99)
+        assert p50 < p90 < p99
+        assert p50 == pytest.approx(0.5, rel=0.1)
+        assert p99 == pytest.approx(0.99, rel=0.1)
+
+    def test_min_max_tracked_exactly(self):
+        h = LatencyHistogram()
+        h.record(0.002)
+        h.record(0.5)
+        assert h.min_seen == pytest.approx(0.002)
+        assert h.max_seen == pytest.approx(0.5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().record(-0.1)
+
+    def test_invalid_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(101)
+
+    def test_summary_keys(self):
+        h = LatencyHistogram()
+        h.record(0.001)
+        assert set(h.summary()) == {"count", "mean", "p50", "p90", "p99", "max"}
+
+    def test_merge(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        for _ in range(10):
+            a.record(0.001)
+        for _ in range(10):
+            b.record(0.1)
+        a.merge(b)
+        assert a.count == 20
+        assert a.percentile(99) > 0.05
+
+    def test_clamping_out_of_range(self):
+        h = LatencyHistogram(min_value=1e-6, max_value=1.0)
+        h.record(1e-9)
+        h.record(50.0)
+        assert h.count == 2
+        assert h.percentile(100) <= 50.0

@@ -1,0 +1,71 @@
+"""Unit tests for frequency-biased pcache admission."""
+
+import pytest
+
+from repro.mash.pcache import PCacheConfig, PersistentCache
+from repro.sim.clock import SimClock
+from repro.storage.local import LocalDevice
+
+
+def cache_with(admit_after, ghost=4096):
+    device = LocalDevice(SimClock())
+    return PersistentCache.open(
+        device,
+        PCacheConfig(
+            data_budget_bytes=100_000,
+            sync_every_n_appends=1,
+            admit_after_accesses=admit_after,
+            ghost_entries=ghost,
+        ),
+    )
+
+
+class TestAdmission:
+    def test_default_admits_immediately(self):
+        cache = cache_with(1)
+        cache.put_data("t.sst", 0, b"payload")
+        assert cache.get_data("t.sst", 0) == b"payload"
+        assert cache.stats.admission_rejections == 0
+
+    def test_second_offer_admits(self):
+        cache = cache_with(2)
+        cache.put_data("t.sst", 0, b"payload")
+        assert cache.get_data("t.sst", 0) is None  # first offer rejected
+        assert cache.stats.admission_rejections == 1
+        cache.put_data("t.sst", 0, b"payload")
+        assert cache.get_data("t.sst", 0) == b"payload"
+
+    def test_distinct_blocks_counted_separately(self):
+        cache = cache_with(2)
+        cache.put_data("t.sst", 0, b"a")
+        cache.put_data("t.sst", 100, b"b")
+        assert cache.get_data("t.sst", 0) is None
+        assert cache.get_data("t.sst", 100) is None
+
+    def test_force_bypasses_policy(self):
+        cache = cache_with(5)
+        cache.put_data("t.sst", 0, b"prewarmed", force=True)
+        assert cache.get_data("t.sst", 0) == b"prewarmed"
+
+    def test_one_off_scan_does_not_pollute(self):
+        cache = cache_with(2)
+        # A scan offers each block once; none should be stored.
+        for offset in range(0, 5000, 100):
+            cache.put_data("scan.sst", offset, bytes(50))
+        assert cache.data_bytes == 0
+        # A genuinely hot block offered twice gets in.
+        cache.put_data("hot.sst", 0, b"hot")
+        cache.put_data("hot.sst", 0, b"hot")
+        assert cache.get_data("hot.sst", 0) == b"hot"
+
+    def test_ghost_map_bounded(self):
+        cache = cache_with(2, ghost=10)
+        for offset in range(100):
+            cache.put_data("t.sst", offset, b"x")
+        assert len(cache._ghost) <= 10
+
+    def test_counter_cleared_after_admission(self):
+        cache = cache_with(2)
+        cache.put_data("t.sst", 0, b"x")
+        cache.put_data("t.sst", 0, b"x")
+        assert ("t.sst", 0) not in cache._ghost

@@ -1,0 +1,94 @@
+"""Unit tests for the hybrid placement policy."""
+
+import pytest
+
+from repro.lsm.format import table_file_name
+from repro.mash.placement import PlacementConfig
+from repro.mash.store import RocksMashStore, StoreConfig
+from repro.storage.env import CLOUD, LOCAL
+
+
+def build_store(**placement_kw):
+    config = StoreConfig(placement=PlacementConfig(**placement_kw)).small()
+    return RocksMashStore.create(config)
+
+
+def fill(store, n, vlen=80):
+    for i in range(n):
+        store.put(f"key{i:06d}".encode(), b"v" * vlen)
+
+
+class TestPlacementConfig:
+    def test_cloud_level_validation(self):
+        with pytest.raises(ValueError):
+            PlacementConfig(cloud_level=0)
+
+
+class TestTierAssignment:
+    def test_logs_and_manifest_always_local(self):
+        store = build_store()
+        fill(store, 2000)
+        for name in store.env.list_files("db/"):
+            if name.endswith(".xlog") or "MANIFEST" in name or name.endswith("CURRENT"):
+                assert store.env.tier_of(name) == LOCAL, name
+
+    def test_upper_levels_local_lower_levels_cloud(self):
+        store = build_store(cloud_level=2)
+        fill(store, 3000)
+        version = store.db.versions.current
+        for level, files in enumerate(version.files):
+            for meta in files:
+                name = table_file_name("db/", meta.number)
+                tier = store.env.tier_of(name)
+                if level < 2:
+                    assert tier == LOCAL, (level, name)
+                else:
+                    assert tier == CLOUD, (level, name)
+
+    def test_higher_cloud_level_keeps_more_local(self):
+        shallow = build_store(cloud_level=1)
+        deep = build_store(cloud_level=4)
+        fill(shallow, 2000)
+        fill(deep, 2000)
+        assert deep.placement.local_table_bytes() > shallow.placement.local_table_bytes()
+        assert deep.placement.cloud_table_bytes() < shallow.placement.cloud_table_bytes()
+
+    def test_demotions_counted(self):
+        store = build_store()
+        fill(store, 3000)
+        assert store.placement.demotions > 0
+        summary = store.placement.tier_summary()
+        assert summary["cloud_bytes"] > 0
+
+
+class TestLocalBudget:
+    def test_budget_demotes_overflow(self):
+        budget = 8 << 10
+        store = build_store(cloud_level=6, local_bytes_budget=budget)
+        fill(store, 3000)
+        assert store.placement.local_table_bytes() <= budget
+        assert store.placement.budget_demotions > 0
+
+    def test_no_budget_no_forced_demotion(self):
+        store = build_store(cloud_level=6)  # everything fits local levels
+        fill(store, 1000)
+        assert store.placement.budget_demotions == 0
+
+
+class TestReadsAfterDemotion:
+    def test_all_keys_readable_from_both_tiers(self):
+        store = build_store()
+        fill(store, 3000)
+        assert store.placement.cloud_table_bytes() > 0
+        for i in range(0, 3000, 131):
+            assert store.get(f"key{i:06d}".encode()) == b"v" * 80
+
+    def test_cloud_reads_actually_happen(self):
+        store = build_store()
+        fill(store, 3000)
+        store.counters.reset()
+        # Keys in deep levels require cloud block fetches (cold caches for
+        # most of them given the small cache budgets).
+        for i in range(0, 3000, 7):
+            store.get(f"key{i:06d}".encode())
+        assert store.counters.get("cloud.get_ops") > 0

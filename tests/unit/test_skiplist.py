@@ -1,0 +1,71 @@
+"""Unit tests for the skiplist."""
+
+import pytest
+
+from repro.util.skiplist import SkipList
+
+
+class TestSkipList:
+    def test_empty(self):
+        sl = SkipList()
+        assert len(sl) == 0
+        assert list(sl) == []
+        assert sl.first() is None
+        assert sl.last() is None
+        assert not sl.contains(b"x")
+
+    def test_insert_and_iterate_sorted(self):
+        sl = SkipList()
+        for k in [b"m", b"a", b"z", b"c"]:
+            sl.insert(k)
+        assert list(sl) == [b"a", b"c", b"m", b"z"]
+        assert len(sl) == 4
+
+    def test_contains(self):
+        sl = SkipList()
+        sl.insert(b"hello")
+        assert sl.contains(b"hello")
+        assert not sl.contains(b"hell")
+        assert not sl.contains(b"hello!")
+
+    def test_duplicate_raises(self):
+        sl = SkipList()
+        sl.insert(b"k")
+        with pytest.raises(ValueError):
+            sl.insert(b"k")
+
+    def test_seek(self):
+        sl = SkipList()
+        for k in [b"a", b"c", b"e"]:
+            sl.insert(k)
+        assert list(sl.seek(b"b")) == [b"c", b"e"]
+        assert list(sl.seek(b"c")) == [b"c", b"e"]
+        assert list(sl.seek(b"f")) == []
+        assert list(sl.seek(b"")) == [b"a", b"c", b"e"]
+
+    def test_first_last(self):
+        sl = SkipList()
+        for i in range(100):
+            sl.insert(f"{i:03d}".encode())
+        assert sl.first() == b"000"
+        assert sl.last() == b"099"
+
+    def test_large_sorted_order(self):
+        sl = SkipList(seed=7)
+        import random
+
+        rng = random.Random(42)
+        keys = [rng.randbytes(rng.randint(1, 20)) for _ in range(2000)]
+        unique = list(dict.fromkeys(keys))
+        for k in unique:
+            sl.insert(k)
+        assert list(sl) == sorted(unique)
+
+    def test_custom_comparator(self):
+        # Reverse ordering comparator.
+        sl = SkipList(comparator=lambda a, b: (a < b) - (a > b))
+        for k in [b"a", b"b", b"c"]:
+            sl.insert(k)
+        assert list(sl) == [b"c", b"b", b"a"]
+        assert sl.first() == b"c"
+        assert sl.last() == b"a"

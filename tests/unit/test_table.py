@@ -1,0 +1,190 @@
+"""Unit tests for SSTable builder + reader."""
+
+import pytest
+
+from repro.errors import CorruptionError, InvalidArgumentError
+from repro.lsm.format import (
+    BlockHandle,
+    Footer,
+    decode_handle,
+    encode_handle,
+    parse_file_name,
+    seal_block,
+    table_file_name,
+    unseal_block,
+)
+from repro.lsm.options import Options
+from repro.lsm.table_builder import TableBuilder
+from repro.lsm.table_reader import TableReader
+from repro.sim.clock import SimClock
+from repro.storage.env import LocalEnv
+from repro.storage.local import LocalDevice
+from repro.util.encoding import TYPE_DELETION, TYPE_VALUE, make_internal_key
+
+
+@pytest.fixture
+def env():
+    return LocalEnv(LocalDevice(SimClock()))
+
+
+def build_table(env, entries, options=None, name="000007.sst"):
+    options = options or Options()
+    builder = TableBuilder(options, env.new_writable_file(name))
+    for ikey, value in entries:
+        builder.add(ikey, value)
+    props = builder.finish()
+    reader = TableReader(options, env.new_random_access_file(name))
+    return props, reader
+
+
+def make_entries(n, *, start=0, seq=100):
+    return [
+        (make_internal_key(f"key{i:06d}".encode(), seq, TYPE_VALUE), f"val{i}".encode())
+        for i in range(start, start + n)
+    ]
+
+
+class TestFormatHelpers:
+    def test_footer_roundtrip(self):
+        footer = Footer(BlockHandle(10, 20), BlockHandle(40, 50))
+        assert Footer.decode(footer.encode()) == footer
+
+    def test_footer_bad_magic(self):
+        data = bytearray(Footer(BlockHandle(0, 0), BlockHandle(0, 0)).encode())
+        data[-1] ^= 0xFF
+        with pytest.raises(CorruptionError):
+            Footer.decode(bytes(data))
+
+    def test_handle_roundtrip(self):
+        h = BlockHandle(123456, 789)
+        decoded, pos = decode_handle(encode_handle(h))
+        assert decoded == h
+
+    def test_seal_unseal(self):
+        payload = b"some block payload"
+        assert unseal_block(seal_block(payload)) == payload
+
+    def test_unseal_detects_corruption(self):
+        sealed = bytearray(seal_block(b"payload"))
+        sealed[0] ^= 1
+        with pytest.raises(CorruptionError):
+            unseal_block(bytes(sealed))
+
+    def test_file_names(self):
+        assert table_file_name("db/", 7) == "db/000007.sst"
+        assert parse_file_name("db/", "db/000007.sst") == ("table", 7)
+        assert parse_file_name("db/", "db/000003.log") == ("log", 3)
+        assert parse_file_name("db/", "db/MANIFEST-000002") == ("manifest", 2)
+        assert parse_file_name("db/", "db/CURRENT") == ("current", 0)
+        assert parse_file_name("db/", "other/000007.sst") is None
+        assert parse_file_name("db/", "db/garbage") is None
+
+
+class TestTableBuilder:
+    def test_properties(self, env):
+        entries = make_entries(100)
+        props, _ = build_table(env, entries)
+        assert props.num_entries == 100
+        assert props.smallest_key == entries[0][0]
+        assert props.largest_key == entries[-1][0]
+        assert props.file_size > 0
+        assert props.blocks, "expected at least one data block"
+        assert props.metadata_bytes == props.index_bytes + props.filter_bytes
+
+    def test_multiple_blocks(self, env):
+        options = Options(block_size=256)
+        props, _ = build_table(env, make_entries(500), options)
+        assert len(props.blocks) > 1
+        # Block key ranges tile the table in order without overlap.
+        for i in range(1, len(props.blocks)):
+            assert props.blocks[i - 1].last_key < props.blocks[i].first_key
+
+    def test_out_of_order_rejected(self, env):
+        builder = TableBuilder(Options(), env.new_writable_file("t.sst"))
+        builder.add(make_internal_key(b"b", 1, TYPE_VALUE), b"v")
+        with pytest.raises(InvalidArgumentError):
+            builder.add(make_internal_key(b"a", 1, TYPE_VALUE), b"v")
+
+    def test_empty_table_rejected(self, env):
+        builder = TableBuilder(Options(), env.new_writable_file("t.sst"))
+        with pytest.raises(InvalidArgumentError):
+            builder.finish()
+
+    def test_double_finish_rejected(self, env):
+        builder = TableBuilder(Options(), env.new_writable_file("t.sst"))
+        builder.add(make_internal_key(b"a", 1, TYPE_VALUE), b"v")
+        builder.finish()
+        with pytest.raises(InvalidArgumentError):
+            builder.finish()
+
+
+class TestTableReader:
+    def test_full_iteration(self, env):
+        entries = make_entries(300)
+        _, reader = build_table(env, entries, Options(block_size=512))
+        assert list(reader) == entries
+
+    def test_get_present(self, env):
+        entries = make_entries(200)
+        _, reader = build_table(env, entries, Options(block_size=512))
+        target = make_internal_key(b"key000123", 200, TYPE_VALUE)
+        found = reader.get(target)
+        assert found is not None
+        ikey, value = found
+        assert value == b"val123"
+
+    def test_get_absent_via_bloom(self, env):
+        entries = make_entries(100)
+        _, reader = build_table(env, entries)
+        assert not reader.may_contain(b"definitely-not-there-xyz")
+
+    def test_get_respects_sequence_visibility(self, env):
+        # Two versions of one key: seq 10 and seq 5.
+        k = b"key"
+        entries = [
+            (make_internal_key(k, 10, TYPE_VALUE), b"new"),
+            (make_internal_key(k, 5, TYPE_VALUE), b"old"),
+        ]
+        _, reader = build_table(env, entries)
+        at7 = reader.get(make_internal_key(k, 7, TYPE_VALUE))
+        assert at7 is not None and at7[1] == b"old"
+        at10 = reader.get(make_internal_key(k, 10, TYPE_VALUE))
+        assert at10 is not None and at10[1] == b"new"
+
+    def test_tombstones_returned_not_interpreted(self, env):
+        entries = [(make_internal_key(b"gone", 9, TYPE_DELETION), b"")]
+        _, reader = build_table(env, entries)
+        found = reader.get(make_internal_key(b"gone", 100, TYPE_VALUE))
+        assert found is not None
+        assert found[1] == b""
+
+    def test_seek_iteration(self, env):
+        entries = make_entries(100)
+        _, reader = build_table(env, entries, Options(block_size=256))
+        target = make_internal_key(b"key000050", 2**40, TYPE_VALUE)
+        got = list(reader.seek(target))
+        assert got == entries[50:]
+
+    def test_no_bloom_filter_option(self, env):
+        options = Options(bloom_bits_per_key=0)
+        _, reader = build_table(env, make_entries(50), options)
+        assert reader.may_contain(b"anything")  # no filter: conservative
+
+    def test_truncated_file_detected(self, env):
+        entries = make_entries(10)
+        build_table(env, entries, name="t.sst")
+        data = env.read_file("t.sst")
+        env.delete_file("t.sst")
+        env.write_file("t.sst", data[: len(data) // 2])
+        with pytest.raises(CorruptionError):
+            TableReader(Options(), env.new_random_access_file("t.sst"))
+
+    def test_reads_are_ranged_not_whole_file(self, env):
+        # A point lookup must not read the entire table.
+        entries = make_entries(2000)
+        options = Options(block_size=1024, block_cache_bytes=0)
+        props, reader = build_table(env, entries, options)
+        device = env.device
+        device.counters.reset()
+        reader.get(make_internal_key(b"key000700", 2**40, TYPE_VALUE))
+        assert device.counters.get("local.read_bytes") < props.file_size / 4

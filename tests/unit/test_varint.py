@@ -1,0 +1,76 @@
+"""Unit tests for varint encoding."""
+
+import pytest
+
+from repro.errors import CorruptionError
+from repro.util.varint import (
+    decode_varint,
+    encode_varint,
+    get_length_prefixed,
+    put_length_prefixed,
+)
+
+
+class TestEncodeDecode:
+    def test_zero(self):
+        assert encode_varint(0) == b"\x00"
+        assert decode_varint(b"\x00") == (0, 1)
+
+    def test_single_byte_boundary(self):
+        assert encode_varint(127) == b"\x7f"
+        assert len(encode_varint(128)) == 2
+
+    def test_known_value(self):
+        # 300 = 0b100101100 -> 0xAC 0x02
+        assert encode_varint(300) == b"\xac\x02"
+        assert decode_varint(b"\xac\x02") == (300, 2)
+
+    @pytest.mark.parametrize(
+        "value", [1, 127, 128, 255, 16384, 2**32 - 1, 2**32, 2**56, 2**64 - 1]
+    )
+    def test_roundtrip(self, value):
+        buf = encode_varint(value)
+        decoded, end = decode_varint(buf)
+        assert decoded == value
+        assert end == len(buf)
+
+    def test_decode_with_offset(self):
+        buf = b"\xffPAD" + encode_varint(300)
+        assert decode_varint(buf, 4) == (300, 4 + 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_truncated_raises(self):
+        with pytest.raises(CorruptionError):
+            decode_varint(b"\x80")
+
+    def test_empty_raises(self):
+        with pytest.raises(CorruptionError):
+            decode_varint(b"")
+
+    def test_overlong_raises(self):
+        with pytest.raises(CorruptionError):
+            decode_varint(b"\x80" * 11 + b"\x01")
+
+
+class TestLengthPrefixed:
+    def test_roundtrip(self):
+        out = bytearray()
+        put_length_prefixed(out, b"hello")
+        put_length_prefixed(out, b"")
+        put_length_prefixed(out, b"x" * 1000)
+        data1, pos = get_length_prefixed(bytes(out))
+        assert data1 == b"hello"
+        data2, pos = get_length_prefixed(bytes(out), pos)
+        assert data2 == b""
+        data3, pos = get_length_prefixed(bytes(out), pos)
+        assert data3 == b"x" * 1000
+        assert pos == len(out)
+
+    def test_truncated_slice_raises(self):
+        out = bytearray()
+        put_length_prefixed(out, b"hello")
+        with pytest.raises(CorruptionError):
+            get_length_prefixed(bytes(out[:-1]))
