@@ -1,0 +1,73 @@
+"""E18 (extension) — parallel subcompactions + coalesced compaction I/O.
+
+Expected shape: coalescing per-block GETs into large ranges removes the
+RTT-per-block tax on cloud-resident inputs; partitioning the merge across
+subcompaction clocks then divides the remaining transfer/merge time. The
+DB contents are byte-identical in every configuration (the digest column),
+and the whole pipeline is deterministic — running a configuration twice
+reproduces the same simulated seconds to the femtosecond.
+
+Writes ``BENCH_e18.json`` (simulated compaction seconds per parallelism)
+so CI archives a machine-readable artifact alongside the table.
+"""
+
+import json
+import pathlib
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import e18_parallel_compaction
+
+ARTIFACT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_e18.json"
+
+
+def test_e18_parallel_compaction(benchmark):
+    table = run_experiment(benchmark, e18_parallel_compaction)
+    idx = table.headers.index
+    baseline = table.row_by("config", "serial, per-block GETs")
+    rows = {
+        parallelism: table.row_by(
+            "config", f"subcompactions={parallelism}, readahead=128K"
+        )
+        for parallelism in (1, 2, 4, 8)
+    }
+
+    # Identical DB contents in every configuration.
+    digests = {row[idx("content_digest")] for row in [baseline, *rows.values()]}
+    assert len(digests) == 1
+
+    # Coalescing alone must cut compaction-time cloud GETs by >= 2x.
+    assert rows[1][idx("cloud_gets")] * 2 <= baseline[idx("cloud_gets")]
+    assert rows[1][idx("coalesced_fetches")] > 0
+
+    # Subcompactions: >= 1.5x simulated speedup at parallelism 4 vs 1.
+    seconds = {p: row[idx("compact_seconds")] for p, row in rows.items()}
+    assert seconds[4] * 1.5 <= seconds[1]
+    # More parallelism never makes it drastically worse (diminishing returns
+    # at 8 are fine; regression past the serial time is not).
+    assert seconds[8] < seconds[1]
+
+    # Upload overlap recovered simulated time in every configuration.
+    assert baseline[idx("upload_overlap_saved_s")] > 0
+
+    # Determinism: a second run reproduces the table exactly.
+    again = e18_parallel_compaction()
+    assert again.rows == table.rows
+
+    ARTIFACT.write_text(
+        json.dumps(
+            {
+                "experiment": "e18_parallel_compaction",
+                "unit": "simulated seconds for compact_range",
+                "baseline_serial_per_block_gets": baseline[idx("compact_seconds")],
+                "compact_seconds_by_parallelism": {
+                    str(p): seconds[p] for p in sorted(seconds)
+                },
+                "cloud_gets_by_parallelism": {
+                    str(p): rows[p][idx("cloud_gets")] for p in sorted(rows)
+                },
+                "content_digest": baseline[idx("content_digest")],
+            },
+            indent=2,
+        )
+        + "\n"
+    )

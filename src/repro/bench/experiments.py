@@ -1,6 +1,6 @@
-"""Experiment definitions E1–E16: the reconstructed evaluation (E1–E12)
-plus extensions (E13–E16: compression, batched reads, fault injection,
-up-tiering).
+"""Experiment definitions E1–E18: the reconstructed evaluation (E1–E12)
+plus extensions (E13–E18: compression, batched reads, fault injection,
+up-tiering, compaction style, and the parallel compaction pipeline).
 
 Each function regenerates one table/figure (see DESIGN.md §3) and returns a
 :class:`~repro.bench.report.Table` whose rows are the series the paper
@@ -755,6 +755,77 @@ def e17_compaction_style(records: int = 6000, keyspace: int = 1500, reads: int =
     return table
 
 
+# --------------------------------------------------------------------------
+# E18 — parallel subcompactions + coalesced compaction I/O (extension)
+# --------------------------------------------------------------------------
+
+
+def e18_parallel_compaction(records: int = 4000, value_size: int = 50) -> Table:
+    """Table E18: the compaction pipeline — subcompactions × coalesced reads.
+
+    fillrandom, then a full manual ``compact_range``; the table sweeps
+    ``max_subcompactions`` 1/2/4/8 with coalesced readahead on, plus the
+    pre-pipeline baseline (serial, per-block GETs). Columns report the
+    simulated compaction time, the cloud GETs the compaction issued, and a
+    digest of the resulting DB contents — identical in every row, because
+    partitioning only changes *where* output files are cut, never what
+    they contain.
+    """
+    import hashlib
+    import random
+
+    table = Table(
+        "E18: parallel subcompactions + coalesced cloud reads (full compaction)",
+        [
+            "config",
+            "compact_seconds",
+            "cloud_gets",
+            "coalesced_fetches",
+            "upload_overlap_saved_s",
+            "content_digest",
+        ],
+        notes=[
+            f"{records} random puts then compact_range(None, None)",
+            "readahead coalesces per-block GETs into 128K ranges; subcompactions",
+            "merge key partitions on forked clocks; demotion uploads overlap the",
+            "merge. Digest equality shows parallelism never changes contents.",
+        ],
+    )
+
+    def run(parallelism: int, readahead: int) -> tuple[float, int, int, float, str]:
+        knobs = HarnessKnobs(
+            max_subcompactions=parallelism,
+            compaction_readahead_bytes=readahead,
+        )
+        store = make_store("rocksmash", knobs)
+        rng = random.Random(42)
+        keys = [make_key(rng.randrange(10**9)) for _ in range(records)]
+        for i, key in enumerate(keys):
+            store.put(key, make_value(i, value_size))
+        gets_before = store.counters.get("cloud.get_ops")
+        saved_before = store.counters.get("compaction.upload_overlap_us_saved")
+        start = store.clock.now
+        store.compact_range(None, None)
+        seconds = store.clock.now - start
+        gets = store.counters.get("cloud.get_ops") - gets_before
+        saved = store.counters.get("compaction.upload_overlap_us_saved") - saved_before
+        digest = hashlib.sha256()
+        for key, value in store.db.scan(None, None):
+            digest.update(key)
+            digest.update(b"\x00")
+            digest.update(value)
+            digest.update(b"\x00")
+        fetches = store.db.compaction_stats.coalesced_fetches
+        return seconds, gets, fetches, saved / 1e6, digest.hexdigest()[:12]
+
+    baseline = run(1, 0)
+    table.add_row("serial, per-block GETs", *baseline)
+    for parallelism in (1, 2, 4, 8):
+        row = run(parallelism, 128 << 10)
+        table.add_row(f"subcompactions={parallelism}, readahead=128K", *row)
+    return table
+
+
 ALL_EXPERIMENTS = {
     "e1": e1_write_micro,
     "e2": e2_read_micro,
@@ -774,4 +845,5 @@ ALL_EXPERIMENTS = {
     "e15": e15_fault_tolerance,
     "e16": e16_promotion,
     "e17": e17_compaction_style,
+    "e18": e18_parallel_compaction,
 }

@@ -61,6 +61,12 @@ class HarnessKnobs:
     cloud_error_rate: float = 0.0
     block_size: int = 512
     pin_metadata: bool = True
+    max_subcompactions: int = 1
+    """Parallel subcompactions per compaction (E18 sweeps 1/2/4/8)."""
+    compaction_readahead_bytes: int = 0
+    """Coalesced readahead for compaction input scans; 0 = per-block GETs."""
+    upload_parallelism: int = 4
+    """Concurrent demotion-upload slots (overlapped with the merge)."""
 
     def cloud_model(self):
         from repro.sim.latency import LatencyModel
@@ -82,6 +88,8 @@ def engine_options(knobs: HarnessKnobs) -> Options:
         target_file_size_base=32 << 10,
         block_cache_bytes=knobs.block_cache_bytes,
         compression=knobs.compression,
+        max_subcompactions=knobs.max_subcompactions,
+        compaction_readahead_bytes=knobs.compaction_readahead_bytes,
     )
 
 
@@ -113,6 +121,7 @@ def make_store(system: str, knobs: HarnessKnobs | None = None):
             placement=PlacementConfig(
                 cloud_level=knobs.cloud_level,
                 local_bytes_budget=knobs.local_bytes_budget,
+                upload_parallelism=knobs.upload_parallelism,
             ),
             pcache=PCacheConfig(data_budget_bytes=knobs.pcache_budget_bytes),
             layout=LayoutConfig(

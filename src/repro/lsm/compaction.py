@@ -14,6 +14,26 @@ Two structural hooks matter for the paper's mechanisms:
   the per-block key ranges of the outputs
   (:class:`~repro.lsm.table_builder.BlockMeta`), which the compaction-aware
   cache layout (:mod:`repro.mash.layout`) consumes to inherit block heat.
+
+Execution is a **parallel pipeline** (both stages default off; see
+:class:`~repro.lsm.options.Options`):
+
+* ``max_subcompactions > 1`` partitions the compaction's key range at
+  boundaries sampled from input-file fences and index anchors
+  (:func:`pick_subcompaction_boundaries`); each partition merges on a
+  forked child of the simulated clock and the compaction joins on the
+  slowest — RocksDB's subcompactions, timed with the same fork/join
+  machinery the xWAL's parallel recovery uses. Partitions execute
+  sequentially in real time, so outputs, file numbers, and results are
+  bit-for-bit deterministic.
+* ``compaction_readahead_bytes > 0`` serves each input file's strictly
+  sequential block reads from a coalesced readahead buffer — one large
+  ranged GET per window instead of one per block — which is what keeps
+  cloud-resident inputs from making compaction RTT-bound.
+
+Each output records the simulated time its builder finished
+(``CompactionOutput.finished_at``); the placement layer uses it to overlap
+cloud uploads with the remainder of the merge.
 """
 
 from __future__ import annotations
@@ -27,6 +47,7 @@ from repro.lsm.options import Options
 from repro.lsm.table_builder import TableBuilder, TableProperties
 from repro.lsm.table_cache import TableCache
 from repro.lsm.version import FileMetaData, Version, VersionEdit
+from repro.sim.clock import ForkJoinRegion, SimClock
 from repro.storage.env import Env
 from repro.util.encoding import (
     MAX_SEQUENCE,
@@ -56,6 +77,12 @@ class Compaction:
     trivial move would do, so tombstone dropping and the user compaction
     filter actually run."""
 
+    disallow_subcompactions: bool = False
+    """Universal *partial* merges set this: their output is a single sorted
+    run on L0, and splitting it into several disjoint files would inflate
+    the run count that triggers the next merge. Full compactions and all
+    leveled compactions may partition freely."""
+
     @property
     def output_level(self) -> int:
         if self.output_level_override is not None:
@@ -78,6 +105,11 @@ class CompactionOutput:
 
     meta: FileMetaData
     properties: TableProperties
+    finished_at: float = 0.0
+    """Simulated time the table's builder finished (0.0 when the Env has no
+    clock). An output is ready for upload at this instant, not at the end of
+    the whole compaction — the placement layer back-dates upload clocks to
+    it so cloud PUTs overlap the remaining merge work."""
 
 
 @dataclass(frozen=True)
@@ -105,6 +137,56 @@ class CompactionStats:
     bytes_written: int = 0
     entries_dropped: int = 0
     entries_filtered: int = 0
+    subcompactions_run: int = 0
+    """Partitions merged across all compactions (counts partitions only
+    when a compaction actually split, i.e. ran >= 2 of them)."""
+    coalesced_fetches: int = 0
+    """Readahead range requests issued for compaction inputs."""
+    coalesced_fetched_bytes: int = 0
+
+
+def pick_subcompaction_boundaries(
+    files: list[FileMetaData],
+    max_parts: int,
+    anchors_of: Callable[[FileMetaData], list[bytes]] | None = None,
+) -> list[bytes]:
+    """User keys that split a compaction into at most ``max_parts`` ranges.
+
+    Candidates are every input file's fence keys plus, when ``anchors_of``
+    is given, sampled index separator keys from inside each file. Fences
+    alone are useless for L0-heavy compactions — every L0 file spans
+    roughly the whole key range, so all fences collapse onto the two
+    extremes — which is exactly why RocksDB samples in-file anchors.
+
+    At most ``max_parts - 1`` boundaries are returned, drawn evenly from
+    the sorted interior candidates (the global smallest and largest keys
+    are excluded: they would create an empty or single-key partition).
+    Boundaries partition the key space as half-open ranges
+    ``[None, b0), [b0, b1), ..., [bk, None)`` over *user* keys, so every
+    version of a given user key lands in exactly one partition — the
+    shadowing/tombstone logic never sees a key split across workers.
+    """
+    if max_parts <= 1 or not files:
+        return []
+    candidates: set[bytes] = set()
+    for meta in files:
+        candidates.add(meta.smallest_user_key)
+        candidates.add(meta.largest_user_key)
+        if anchors_of is not None:
+            candidates.update(anchors_of(meta))
+    lo = min(meta.smallest_user_key for meta in files)
+    hi = max(meta.largest_user_key for meta in files)
+    interior = sorted(key for key in candidates if lo < key < hi)
+    if not interior:
+        return []
+    want = min(max_parts - 1, len(interior))
+    total = len(interior)
+    picked: list[bytes] = []
+    for i in range(want):
+        key = interior[((i + 1) * total) // (want + 1)]
+        if not picked or key != picked[-1]:
+            picked.append(key)
+    return picked
 
 
 class CompactionPicker:
@@ -211,10 +293,133 @@ class CompactionJob:
                 )
             return edit
 
-        sources = [
-            iter(self.table_cache.get_reader(meta.number))
-            for meta in compaction.inputs + compaction.overlaps
-        ]
+        partitions = self._plan_partitions(compaction)
+        clock = self.env.sim_clock()
+        outputs: list[CompactionOutput] = []
+        dropped = 0
+
+        if len(partitions) > 1 and clock is not None:
+            # Each partition merges on a forked child clock; real execution
+            # stays sequential (deterministic file numbers and bytes), only
+            # the *timing* models the partitions as concurrent workers.
+            region = ForkJoinRegion(clock, self.env.clock_hosts())
+            for lo, hi in partitions:
+                with region.branch() as child:
+                    part_outputs, part_dropped = self._merge_partition(
+                        compaction,
+                        version,
+                        lo,
+                        hi,
+                        smallest_snapshot=smallest_snapshot,
+                        newest_snapshot=newest_snapshot,
+                        clock=child,
+                    )
+                outputs.extend(part_outputs)
+                dropped += part_dropped
+            region.join()
+            self.stats.subcompactions_run += len(partitions)
+        else:
+            for lo, hi in partitions:
+                part_outputs, part_dropped = self._merge_partition(
+                    compaction,
+                    version,
+                    lo,
+                    hi,
+                    smallest_snapshot=smallest_snapshot,
+                    newest_snapshot=newest_snapshot,
+                    clock=clock,
+                )
+                outputs.extend(part_outputs)
+                dropped += part_dropped
+            if len(partitions) > 1:
+                self.stats.subcompactions_run += len(partitions)
+
+        for output in outputs:
+            edit.add_file(compaction.output_level, output.meta)
+        self.stats.compactions += 1
+        self.stats.entries_dropped += dropped
+        self.stats.bytes_read += sum(
+            meta.file_size for meta in compaction.inputs + compaction.overlaps
+        )
+
+        if listener is not None:
+            listener(
+                CompactionEvent(
+                    level=compaction.level,
+                    output_level=compaction.output_level,
+                    input_files=list(compaction.inputs) + list(compaction.overlaps),
+                    outputs=outputs,
+                    dropped_entries=dropped,
+                )
+            )
+        return edit
+
+    def _plan_partitions(
+        self, compaction: Compaction
+    ) -> list[tuple[bytes | None, bytes | None]]:
+        """Half-open user-key ranges to merge; ``[(None, None)]`` = serial."""
+        max_parts = self.options.max_subcompactions
+        if max_parts <= 1 or compaction.disallow_subcompactions:
+            return [(None, None)]
+        files = compaction.inputs + compaction.overlaps
+
+        def anchors_of(meta: FileMetaData) -> list[bytes]:
+            return self.table_cache.get_reader(meta.number).anchor_user_keys()
+
+        boundaries = pick_subcompaction_boundaries(files, max_parts, anchors_of=anchors_of)
+        if not boundaries:
+            return [(None, None)]
+        edges: list[bytes | None] = [None, *boundaries, None]
+        return list(zip(edges[:-1], edges[1:]))
+
+    def _merge_partition(
+        self,
+        compaction: Compaction,
+        version: Version,
+        lo: bytes | None,
+        hi: bytes | None,
+        *,
+        smallest_snapshot: int,
+        newest_snapshot: int,
+        clock: SimClock | None,
+    ) -> tuple[list[CompactionOutput], int]:
+        """Merge the inputs restricted to user keys in ``[lo, hi)``.
+
+        Returns the outputs written for this partition and the number of
+        entries dropped. Output files never straddle a partition boundary,
+        so partitions compose into the same total ordering regardless of
+        how the range was split.
+        """
+        readahead = self.options.compaction_readahead_bytes
+        buffers = []
+        sources = []
+        if readahead > 0:
+            # Late import: repro.mash packages the full store (which imports
+            # the DB, which imports this module); binding it at module load
+            # would be a cycle.
+            from repro.mash.readahead import ReadaheadBuffer
+        for meta in compaction.inputs + compaction.overlaps:
+            if hi is not None and meta.smallest_user_key >= hi:
+                continue
+            if lo is not None and meta.largest_user_key < lo:
+                continue
+            reader = self.table_cache.get_reader(meta.number)
+            block_fetch = None
+            if readahead > 0:
+                # Eager: a compaction reads the file strictly sequentially,
+                # so skip the two-access rampup and coalesce from block one.
+                # Bypasses the cache chain deliberately — compaction scans
+                # are one-shot and must not evict the point-read working
+                # set.
+                buffer = ReadaheadBuffer(
+                    reader.file,
+                    readahead_bytes=readahead,
+                    verify=self.options.paranoid_checks,
+                    eager=True,
+                )
+                buffers.append(buffer)
+                block_fetch = buffer.get
+            sources.append(reader.range_iter(lo, hi, block_fetch=block_fetch))
         merged = merge_internal(sources)
 
         outputs: list[CompactionOutput] = []
@@ -236,7 +441,11 @@ class CompactionJob:
                 smallest=props.smallest_key,
                 largest=props.largest_key,
             )
-            outputs.append(CompactionOutput(meta, props))
+            outputs.append(
+                CompactionOutput(
+                    meta, props, finished_at=clock.now if clock is not None else 0.0
+                )
+            )
             self.stats.bytes_written += props.file_size
             builder = None
 
@@ -293,22 +502,7 @@ class CompactionJob:
 
         finish_builder()
 
-        for output in outputs:
-            edit.add_file(compaction.output_level, output.meta)
-        self.stats.compactions += 1
-        self.stats.entries_dropped += dropped
-        self.stats.bytes_read += sum(
-            meta.file_size for meta in compaction.inputs + compaction.overlaps
-        )
-
-        if listener is not None:
-            listener(
-                CompactionEvent(
-                    level=compaction.level,
-                    output_level=compaction.output_level,
-                    input_files=list(compaction.inputs) + list(compaction.overlaps),
-                    outputs=outputs,
-                    dropped_entries=dropped,
-                )
-            )
-        return edit
+        for buffer in buffers:
+            self.stats.coalesced_fetches += buffer.stats.fetches
+            self.stats.coalesced_fetched_bytes += buffer.stats.fetched_bytes
+        return outputs, dropped

@@ -783,6 +783,8 @@ class DB:
                 f"compactions={s.compactions} trivial_moves={s.trivial_moves}"
                 f" bytes_read={s.bytes_read} bytes_written={s.bytes_written}"
                 f" entries_dropped={s.entries_dropped} flushes={self.flush_count}"
+                f" subcompactions={s.subcompactions_run}"
+                f" coalesced_fetches={s.coalesced_fetches}"
             )
         if key == "levels":
             lines = ["level  files  bytes"]

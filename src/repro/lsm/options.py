@@ -71,6 +71,22 @@ class Options:
 
     num_levels: int = NUM_LEVELS
 
+    max_subcompactions: int = 1
+    """Upper bound on parallel subcompactions per compaction (RocksDB's
+    ``max_subcompactions``). The key range of a compaction is partitioned at
+    boundaries derived from input-file fences and index anchors; each
+    partition merges on a forked child clock and the compaction joins on
+    the slowest. 1 = fully serial (the default). Output *contents* are
+    identical at any setting — only file cut points and simulated timing
+    change."""
+
+    compaction_readahead_bytes: int = 0
+    """Coalesced readahead for compaction input scans (0 disables).
+    Compaction reads tables strictly sequentially, so instead of one ranged
+    GET per block, input files are fetched in contiguous ranges of up to
+    this many bytes — turning an RTT-per-block scan of cloud-resident
+    inputs into a few large transfers."""
+
     max_manifest_file_size: int = 256 << 10
     """Rewrite (compact) the MANIFEST once its edit log exceeds this size;
     0 disables rewriting."""
@@ -114,6 +130,10 @@ class Options:
             raise ValueError(f"unknown filter_partitioning {self.filter_partitioning!r}")
         if self.universal_min_merge_width < 2:
             raise ValueError("universal_min_merge_width must be >= 2")
+        if self.max_subcompactions < 1:
+            raise ValueError("max_subcompactions must be >= 1")
+        if self.compaction_readahead_bytes < 0:
+            raise ValueError("compaction_readahead_bytes must be >= 0")
         if self.bloom_bits_per_key:
             self.filter_policy = BloomFilterPolicy(bits_per_key=self.bloom_bits_per_key)
 

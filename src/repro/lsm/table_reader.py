@@ -24,7 +24,13 @@ from repro.lsm.format import (
 from repro.lsm.options import Options
 from repro.storage.env import RandomAccessFile
 from repro.util.bloom import BloomFilterPolicy
-from repro.util.encoding import compare_internal, extract_user_key
+from repro.util.encoding import (
+    MAX_SEQUENCE,
+    TYPE_VALUE,
+    compare_internal,
+    extract_user_key,
+    make_internal_key,
+)
 
 # (file_name, handle, kind) -> raw block payload. kind in {data, index, filter}.
 BlockLoader = Callable[[str, BlockHandle, str], bytes]
@@ -176,3 +182,52 @@ class TableReader:
                 first_block = False
             else:
                 yield from block
+
+    # -- compaction support -------------------------------------------------
+
+    def anchor_user_keys(self, max_anchors: int = 32) -> list[bytes]:
+        """Evenly sampled user keys from the index (no data-block I/O).
+
+        Index separator keys bound their blocks from above, so they chart
+        the key distribution at block granularity — the anchors RocksDB
+        samples to place subcompaction boundaries inside files that span
+        the whole key range (e.g. every L0 file).
+        """
+        separators = [extract_user_key(key) for key, _ in self._index]
+        if len(separators) <= max_anchors:
+            return separators
+        step = len(separators) / max_anchors
+        return [separators[int(i * step)] for i in range(max_anchors)]
+
+    def range_iter(
+        self,
+        begin: bytes | None = None,
+        end: bytes | None = None,
+        *,
+        block_fetch: Callable[[BlockHandle], bytes | None] | None = None,
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Entries whose *user* key lies in ``[begin, end)``, in order.
+
+        ``block_fetch(handle)`` lets a caller intercept data-block reads
+        before the loader chain — the hook the compaction pipeline uses to
+        serve strictly-sequential scans from a coalesced readahead buffer
+        (one large ranged GET instead of one per block). A ``None`` return
+        falls back to the normal loader.
+        """
+        target = None
+        if begin is not None:
+            target = make_internal_key(begin, MAX_SEQUENCE, TYPE_VALUE)
+        index_iter = self._index.seek(target) if target is not None else iter(self._index)
+        first_block = target is not None
+        for _, handle_bytes in index_iter:
+            handle, _ = decode_handle(handle_bytes)
+            payload = block_fetch(handle) if block_fetch is not None else None
+            if payload is None:
+                payload = self._loader(self.name, handle, "data")
+            block = Block(payload, compare_internal)
+            entries = block.seek(target) if first_block else iter(block)
+            first_block = False
+            for ikey, value in entries:
+                if end is not None and extract_user_key(ikey) >= end:
+                    return
+                yield ikey, value

@@ -116,4 +116,5 @@ class UniversalCompactionPicker:
             score=len(runs) / trigger,
             output_level_override=0,
             allow_tombstone_drop=False,  # older runs may hold shadowed data
+            disallow_subcompactions=True,  # output must stay one L0 run
         )

@@ -14,6 +14,14 @@ Demotion happens *after* a compaction commits: output files landing at or
 below ``cloud_level`` are uploaded and their local copy dropped. An optional
 byte budget additionally demotes the coldest (deepest, largest-numbered)
 local tables when the device fills up — this is what experiment E11 sweeps.
+
+Uploads *overlap* the compaction that produced them: each output records
+when its builder finished (``CompactionOutput.finished_at``), and the
+demotion batch replays the uploads on back-dated child clocks through up to
+``upload_parallelism`` slots — modelling a real implementation that starts
+PUTting a finished output while the merge keeps producing the next one.
+The simulated time this recovers versus strictly-serial post-compaction
+uploads is ticked as ``compaction.upload_overlap_us_saved``.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from dataclasses import dataclass
 from repro.lsm.compaction import CompactionEvent
 from repro.lsm.db import DB, FlushEvent
 from repro.lsm.format import table_file_name
+from repro.sim.clock import ForkJoinRegion
 from repro.storage.env import CLOUD, LOCAL, HybridEnv
 
 
@@ -47,9 +56,17 @@ class PlacementConfig:
     promotion_headroom: float = 0.9
     """Promotions stop once local bytes exceed this fraction of the budget."""
 
+    upload_parallelism: int = 4
+    """Concurrent upload slots for demotions. Cloud-bound compaction
+    outputs start uploading the moment their builder finishes (overlapping
+    the rest of the merge), queueing behind a free slot when all are busy.
+    1 = serial uploads after the compaction, the pre-overlap behaviour."""
+
     def __post_init__(self) -> None:
         if self.cloud_level < 1:
             raise ValueError("cloud_level must be >= 1 (L0 is always local)")
+        if self.upload_parallelism < 1:
+            raise ValueError("upload_parallelism must be >= 1")
         if not 0.0 < self.promotion_headroom <= 1.0:
             raise ValueError("promotion_headroom must be in (0, 1]")
         if self.promotion_enabled and self.local_bytes_budget is None:
@@ -92,18 +109,59 @@ class PlacementManager:
     def _on_compaction(self, event: CompactionEvent) -> None:
         if event.trivial_move:
             # The file was relinked to ``output_level`` without a rewrite;
-            # demote it if it crossed the cloud boundary.
+            # demote it if it crossed the cloud boundary. It existed before
+            # the compaction, so its upload has been "ready" all along.
             if event.output_level >= self.config.cloud_level:
-                for meta in event.input_files:
-                    self._demote(meta.number)
+                self._demote_batch([(meta.number, None) for meta in event.input_files])
             self._enforce_budget()
             return
         if event.output_level >= self.config.cloud_level:
-            for output in event.outputs:
-                self._demote(output.meta.number)
+            self._demote_batch(
+                [(output.meta.number, output.finished_at) for output in event.outputs]
+            )
         self._enforce_budget()
 
     # -- mechanics ----------------------------------------------------------
+
+    def _demote_batch(self, items: list[tuple[int, float | None]]) -> None:
+        """Demote several tables with overlapped, slot-limited uploads.
+
+        ``items`` is ``(file number, ready_at)`` where ``ready_at`` is the
+        simulated instant the file became uploadable (``None`` = now). Each
+        upload runs on a child clock back-dated to ``max(ready_at, slot
+        free time)`` across ``upload_parallelism`` slots; the parent clock
+        then merges, so fully-overlapped uploads cost no wall time at all.
+        The difference versus serially uploading after the barrier is
+        ticked as ``compaction.upload_overlap_us_saved``.
+        """
+        clock = self.env.sim_clock()
+        width = self.config.upload_parallelism
+        if clock is None or width <= 1 or len(items) <= 1:
+            for number, _ in items:
+                self._demote(number)
+            return
+        base_now = clock.now
+        region = ForkJoinRegion(clock, self.env.clock_hosts())
+        slot_free = [0.0] * width
+        serial_cost = 0.0
+        for number, ready_at in items:
+            slot = min(range(width), key=lambda i: slot_free[i])
+            start = max(ready_at if ready_at is not None else base_now, slot_free[slot])
+            with region.branch(start=start) as child:
+                self._demote(number)
+            slot_free[slot] = child.now
+            serial_cost += child.now - start
+        region.join(strict=False)
+        saved = (base_now + serial_cost) - clock.now
+        if saved > 0:
+            self._tick_overlap_saved(saved)
+
+    def _tick_overlap_saved(self, seconds: float) -> None:
+        hosts = self.env.clock_hosts()
+        counters = getattr(hosts[0], "counters", None) if hosts else None
+        if counters is not None:
+            # CounterSet is integer-valued; store as microseconds.
+            counters.inc("compaction.upload_overlap_us_saved", int(seconds * 1e6))
 
     def _demote(self, number: int) -> None:
         name = table_file_name(self.db.prefix, number)
@@ -121,21 +179,33 @@ class PlacementManager:
         if budget is None:
             return
         # Demote deepest-level, then oldest (lowest-numbered) tables first:
-        # depth is the engine's own coldness signal.
-        while self.local_table_bytes() > budget:
-            victim = self._pick_budget_victim()
+        # depth is the engine's own coldness signal. Victims are collected
+        # up front so their uploads share the demotion slots.
+        local = self.local_table_bytes()
+        victims: list[tuple[int, float | None]] = []
+        exclude: set[int] = set()
+        while local > budget:
+            victim = self._pick_budget_victim(exclude)
             if victim is None:
-                return
-            self._demote(victim)
-            self.budget_demotions += 1
+                break
+            number, size = victim
+            exclude.add(number)
+            victims.append((number, None))
+            local -= size
+        if not victims:
+            return
+        self._demote_batch(victims)
+        self.budget_demotions += len(victims)
 
-    def _pick_budget_victim(self) -> int | None:
+    def _pick_budget_victim(self, exclude: set[int] = frozenset()) -> tuple[int, int] | None:
         version = self.db.versions.current
         for level in range(len(version.files) - 1, -1, -1):
             for meta in version.files[level]:
+                if meta.number in exclude:
+                    continue
                 name = table_file_name(self.db.prefix, meta.number)
                 if self.env.file_exists(name) and self.env.tier_of(name) == LOCAL:
-                    return meta.number
+                    return meta.number, meta.file_size
         return None
 
     # -- promotion (up-tiering) ---------------------------------------------------

@@ -42,12 +42,14 @@ class ReadaheadBuffer:
         *,
         readahead_bytes: int = 128 << 10,
         verify: bool = True,
+        eager: bool = False,
     ) -> None:
         if readahead_bytes <= 0:
             raise ValueError("readahead_bytes must be positive")
         self.file = file
         self.readahead_bytes = readahead_bytes
         self.verify = verify
+        self.eager = eager
         self.stats = ReadaheadStats()
         self._buffer = b""
         self._buffer_base = -1
@@ -55,7 +57,12 @@ class ReadaheadBuffer:
         self._streak = 0
         # Adaptive sizing (RocksDB-style): start small so short scans are
         # not penalized by overfetch, double on each consecutive fetch.
-        self._current_readahead = min(self.INITIAL_READAHEAD, readahead_bytes)
+        # Eager mode (compaction inputs: the whole file *will* be read)
+        # skips the rampup and fetches full-size ranges from the first
+        # access.
+        self._current_readahead = (
+            readahead_bytes if eager else min(self.INITIAL_READAHEAD, readahead_bytes)
+        )
 
     def _slice_from_buffer(self, handle: BlockHandle) -> bytes | None:
         if self._buffer_base < 0:
@@ -75,17 +82,22 @@ class ReadaheadBuffer:
         an unaccounted, never-evicted extra cache.
         """
         raw_len = handle.size + BLOCK_TRAILER_SIZE
+        first_access = self._expected_offset < 0
         sequential = handle.offset == self._expected_offset
         self._expected_offset = handle.offset + raw_len
-        if not sequential:
+        if not sequential and not (self.eager and first_access):
             self.invalidate()
-            return None
+            if not self.eager:
+                return None
+            # Eager scans are declared-sequential: a jump (subcompaction
+            # seek) restarts the run at the new offset instead of falling
+            # back to per-block fetches.
         buffered = self._slice_from_buffer(handle)
         if buffered is not None:
             self.stats.sequential_hits += 1
             return buffered
         self._streak += 1
-        if self._streak < 2:
+        if not self.eager and self._streak < 2:
             return None  # one coincidence is not a scan yet
         # Established sequential pattern: fetch a range in one request,
         # growing geometrically while the scan keeps going.
@@ -101,4 +113,8 @@ class ReadaheadBuffer:
         self._buffer = b""
         self._buffer_base = -1
         self._streak = 0
-        self._current_readahead = min(self.INITIAL_READAHEAD, self.readahead_bytes)
+        self._current_readahead = (
+            self.readahead_bytes
+            if self.eager
+            else min(self.INITIAL_READAHEAD, self.readahead_bytes)
+        )

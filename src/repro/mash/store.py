@@ -41,7 +41,7 @@ from repro.mash.readahead import ReadaheadBuffer
 from repro.mash.xwal import XWalConfig, XWalReplayer, XWalWriter
 from repro.metrics.counters import CounterSet
 from repro.metrics.latency import LatencyHistogram
-from repro.sim.clock import SimClock, StopwatchRegion
+from repro.sim.clock import ForkJoinRegion, SimClock, StopwatchRegion
 from repro.sim.latency import LatencyModel, cloud_object_storage, nvme_ssd
 from repro.storage.cloud import CloudObjectStore
 from repro.storage.cost import CostModel
@@ -308,16 +308,13 @@ class RocksMashStore(StoreFacade):
         with StopwatchRegion(self.clock) as sw:
             for start in range(0, len(keys), width):
                 wave = keys[start : start + width]
-                children = self.clock.fork(len(wave))
-                for child, key in zip(children, wave):
-                    self.local_device.clock = child
-                    self.cloud_store.clock = child
-                    try:
+                region = ForkJoinRegion(
+                    self.clock, [self.local_device, self.cloud_store]
+                )
+                for key in wave:
+                    with region.branch():
                         results[key] = self.db.get(key, snapshot=snapshot)
-                    finally:
-                        self.local_device.clock = self.clock
-                        self.cloud_store.clock = self.clock
-                self.clock.join(children)
+                region.join()
         self.read_latency.record(sw.elapsed)
         return results
 

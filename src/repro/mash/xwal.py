@@ -28,14 +28,13 @@ Shard record format (framed by :class:`~repro.lsm.wal.LogWriter`)::
 from __future__ import annotations
 
 from collections.abc import Iterator
-from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.errors import CorruptionError
 from repro.lsm.format import xlog_file_name
 from repro.lsm.wal import LogReader, LogWriter
 from repro.lsm.write_batch import WriteBatch
-from repro.sim.clock import SimClock
+from repro.sim.clock import ForkJoinRegion
 from repro.storage.env import Env
 from repro.storage.local import LocalDevice
 from repro.util.crc import crc32
@@ -104,17 +103,6 @@ def decode_shard_record(data: bytes) -> list[XWalOp]:
     return ops
 
 
-@contextmanager
-def _charged_to(device: LocalDevice, clock: SimClock):
-    """Temporarily charge a device's I/O to a different (child) clock."""
-    saved = device.clock
-    device.clock = clock
-    try:
-        yield
-    finally:
-        device.clock = saved
-
-
 class XWalWriter:
     """Write side of one xWAL generation (drop-in for LogWriter in DB)."""
 
@@ -158,13 +146,13 @@ class XWalWriter:
         if not touched:
             return
         if sync and len(touched) > 1:
-            children = self.device.clock.fork(len(touched))
-            for child, shard in zip(children, touched):
-                with _charged_to(self.device, child):
+            region = ForkJoinRegion(self.device.clock, [self.device])
+            for shard in touched:
+                with region.branch():
                     self._shards[shard].add_record(
                         encode_shard_record(per_shard[shard]), sync=True
                     )
-            self.device.clock.join(children)
+            region.join()
         else:
             for shard in touched:
                 self._shards[shard].add_record(
@@ -213,10 +201,10 @@ class XWalReplayer:
         names = [n for n in self.shard_file_names(number) if self.env.file_exists(n)]
         if not names:
             return
-        children = self.device.clock.fork(len(names))
+        region = ForkJoinRegion(self.device.clock, [self.device])
         collected: list[list[XWalOp]] = []
-        for child, name in zip(children, names):
-            with _charged_to(self.device, child):
+        for name in names:
+            with region.branch() as child:
                 data = self.env.read_file(name)
                 reader = LogReader(data)
                 shard_ops: list[XWalOp] = []
@@ -226,7 +214,7 @@ class XWalReplayer:
                     self.corrupt_shards += 1
                 child.advance(self.config.apply_cost_per_record * len(shard_ops))
                 collected.append(shard_ops)
-        self.device.clock.join(children)
+        region.join()
         for shard_ops in collected:
             self.records_replayed += len(shard_ops)
             yield from shard_ops

@@ -14,6 +14,7 @@ without real threads, keeping every figure deterministic.
 
 from __future__ import annotations
 
+from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field
 
 
@@ -37,6 +38,23 @@ class SimClock:
             raise ValueError("fork requires at least one child")
         return [SimClock(now=self.now) for _ in range(n)]
 
+    def child(self, start: float | None = None) -> "SimClock":
+        """One child clock, optionally starting at a different timestamp.
+
+        A *past* ``start`` models work that could have begun earlier and ran
+        concurrently with what the parent was doing since — e.g. uploading a
+        compaction output file while the merge kept producing the next one.
+        A *future* ``start`` models work queued behind a busy slot (an
+        upload waiting for a free connection). Joining via :meth:`merge`
+        keeps the parent monotonic either way; ``start`` itself must be
+        non-negative.
+        """
+        if start is None:
+            start = self.now
+        if start < 0:
+            raise ValueError(f"child cannot start before time zero ({start})")
+        return SimClock(now=start)
+
     def join(self, children: list["SimClock"]) -> float:
         """Advance this clock to the latest child time (barrier semantics).
 
@@ -50,6 +68,87 @@ class SimClock:
             raise ValueError("child clock is behind parent; clocks cannot rewind")
         self.now = latest
         return self.now
+
+    def merge(self, children: list["SimClock"]) -> float:
+        """Overlap-tolerant join: advance to the latest child *if later*.
+
+        Unlike :meth:`join`, children created via :meth:`child` at an
+        earlier timestamp may finish before the parent's current time —
+        their work fully overlapped something already accounted — and the
+        parent simply does not move.
+        """
+        if children:
+            self.now = max(self.now, max(child.now for child in children))
+        return self.now
+
+
+class ClockCharged:
+    """Mixin for objects that charge I/O to a swappable ``clock`` attribute.
+
+    :meth:`clock_scope` is the *only* sanctioned way to temporarily charge a
+    device's I/O to a different (forked child) clock. The save/restore is
+    stack-disciplined, so scopes nest arbitrarily (a fork inside a fork
+    restores the intermediate clock, not the root) and an exception inside
+    the scope cannot leave the device stuck on a child clock.
+    """
+
+    clock: SimClock
+
+    @contextmanager
+    def clock_scope(self, clock: SimClock):
+        saved = self.clock
+        self.clock = clock
+        try:
+            yield clock
+        finally:
+            self.clock = saved
+
+
+class ForkJoinRegion:
+    """Structured fork/join over a parent clock and its charged devices.
+
+    Each :meth:`branch` yields a child clock and, for its duration, points
+    every host (objects with ``clock_scope``, e.g. the local device and the
+    cloud store) at that child, so all I/O inside the branch accumulates on
+    the child. :meth:`join` advances the parent to the slowest child.
+    Branches run one after another in real execution — determinism — while
+    the clock accounting models them as concurrent. Regions nest: a branch
+    may open its own ``ForkJoinRegion`` on the child clock.
+
+    Example::
+
+        region = ForkJoinRegion(clock, [local_device, cloud_store])
+        for task in tasks:
+            with region.branch():
+                task()          # I/O charged to this branch's child clock
+        region.join()           # parent advances to the slowest branch
+    """
+
+    def __init__(self, parent: SimClock, hosts: list[ClockCharged]) -> None:
+        self.parent = parent
+        self.hosts = hosts
+        self.children: list[SimClock] = []
+
+    @contextmanager
+    def branch(self, start: float | None = None):
+        """Run one concurrent task; ``start`` may back-date it (see
+        :meth:`SimClock.child`)."""
+        child = self.parent.child(start)
+        self.children.append(child)
+        with ExitStack() as stack:
+            for host in self.hosts:
+                stack.enter_context(host.clock_scope(child))
+            yield child
+
+    def join(self, *, strict: bool = True) -> float:
+        """Advance the parent to the slowest branch.
+
+        ``strict=False`` uses :meth:`SimClock.merge` semantics for regions
+        with back-dated branches (overlapped work may finish "in the past").
+        """
+        if strict:
+            return self.parent.join(self.children)
+        return self.parent.merge(self.children)
 
 
 class StopwatchRegion:

@@ -17,12 +17,12 @@ from __future__ import annotations
 
 from repro.errors import IOErrorSim, NotFoundError
 from repro.metrics.counters import CounterSet
-from repro.sim.clock import SimClock
+from repro.sim.clock import ClockCharged, SimClock
 from repro.sim.failure import FaultInjector, RetryPolicy
 from repro.sim.latency import LatencyModel, cloud_object_storage
 
 
-class CloudObjectStore:
+class CloudObjectStore(ClockCharged):
     """An in-memory object store with S3-like semantics and accounting."""
 
     def __init__(

@@ -97,6 +97,23 @@ class Env(ABC):
     @abstractmethod
     def list_files(self, prefix: str = "") -> list[str]: ...
 
+    def clock_hosts(self) -> list:
+        """The clock-charged backends behind this Env (device/object store).
+
+        Fork/join sites (parallel compaction, batched reads) discover where
+        simulated time is charged through this hook; every host supports
+        ``clock_scope`` (see :class:`repro.sim.clock.ClockCharged`) and all
+        hosts of one Env share a single parent :class:`SimClock`. An Env
+        with no simulated backends returns ``[]`` and callers fall back to
+        serial accounting.
+        """
+        return []
+
+    def sim_clock(self):
+        """The shared parent clock, or None for an un-clocked Env."""
+        hosts = self.clock_hosts()
+        return hosts[0].clock if hosts else None
+
 
 # --------------------------------------------------------------------------
 # Local tier
@@ -169,6 +186,9 @@ class LocalEnv(Env):
 
     def list_files(self, prefix: str = "") -> list[str]:
         return self.device.list_files(prefix)
+
+    def clock_hosts(self) -> list:
+        return [self.device]
 
 
 # --------------------------------------------------------------------------
@@ -262,6 +282,9 @@ class CloudEnv(Env):
     def list_files(self, prefix: str = "") -> list[str]:
         return self.store.list_keys(prefix)
 
+    def clock_hosts(self) -> list:
+        return [self.store]
+
 
 # --------------------------------------------------------------------------
 # Hybrid tier
@@ -349,6 +372,9 @@ class HybridEnv(Env):
     def list_files(self, prefix: str = "") -> list[str]:
         names = set(self.local.list_files(prefix)) | set(self.cloud.list_files(prefix))
         return sorted(names)
+
+    def clock_hosts(self) -> list:
+        return [self.local.device, self.cloud.store]
 
     # -- migration -------------------------------------------------------------
 

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import IOErrorSim, NotFoundError
 from repro.metrics.counters import CounterSet
-from repro.sim.clock import SimClock
+from repro.sim.clock import ClockCharged, SimClock
 from repro.sim.failure import FaultInjector
 from repro.sim.latency import LatencyModel, nvme_ssd
 
@@ -38,7 +38,7 @@ class _FileState:
         return bytes(self.durable) + bytes(self.pending)
 
 
-class LocalDevice:
+class LocalDevice(ClockCharged):
     """A named-file byte store with an SSD latency model.
 
     Args:

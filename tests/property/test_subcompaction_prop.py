@@ -1,0 +1,110 @@
+"""Property: parallel compaction produces exactly the serial DB contents.
+
+Subcompactions change file cut points and simulated timing — never what the
+database contains. For random workloads (overwrites, deletes, skew), a DB
+compacted with ``max_subcompactions=4`` must scan identically to one
+compacted serially.
+"""
+
+import dataclasses
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.lsm.compaction import pick_subcompaction_boundaries
+from repro.lsm.db import DB
+from repro.lsm.options import Options
+from repro.lsm.version import FileMetaData
+from repro.sim.clock import SimClock
+from repro.storage.env import LocalEnv
+from repro.storage.local import LocalDevice
+
+
+def tiny_options(**overrides) -> Options:
+    base = dict(
+        write_buffer_size=2 << 10,
+        block_size=256,
+        max_bytes_for_level_base=8 << 10,
+        target_file_size_base=2 << 10,
+        block_cache_bytes=0,
+    )
+    base.update(overrides)
+    return Options(**base)
+
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "delete"]),
+        st.integers(min_value=0, max_value=200),
+        st.binary(min_size=0, max_size=40),
+    ),
+    min_size=30,
+    max_size=300,
+)
+
+
+def apply_and_compact(operations, parallelism: int) -> list[tuple[bytes, bytes]]:
+    env = LocalEnv(LocalDevice(SimClock()))
+    db = DB.open(env, "db/", tiny_options(max_subcompactions=parallelism))
+    try:
+        for op, keyno, value in operations:
+            key = f"k{keyno:05d}".encode()
+            if op == "put":
+                db.put(key, value)
+            else:
+                db.delete(key)
+        db.compact_range(None, None)
+        return list(db.scan(None, None))
+    finally:
+        db.close()
+
+
+class TestParallelEqualsSerial:
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(ops)
+    def test_contents_identical(self, operations):
+        serial = apply_and_compact(operations, parallelism=1)
+        parallel = apply_and_compact(operations, parallelism=4)
+        assert parallel == serial
+
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(ops)
+    def test_parallel_is_deterministic(self, operations):
+        first = apply_and_compact(operations, parallelism=4)
+        second = apply_and_compact(operations, parallelism=4)
+        assert first == second
+
+
+def _meta(number: int, smallest: bytes, largest: bytes) -> FileMetaData:
+    from repro.util.encoding import MAX_SEQUENCE, TYPE_VALUE, make_internal_key
+
+    return FileMetaData(
+        number=number,
+        file_size=1024,
+        smallest=make_internal_key(smallest, MAX_SEQUENCE, TYPE_VALUE),
+        largest=make_internal_key(largest, 1, TYPE_VALUE),
+    )
+
+
+key_ranges = st.lists(
+    st.tuples(st.binary(min_size=1, max_size=8), st.binary(min_size=1, max_size=8)),
+    min_size=0,
+    max_size=12,
+)
+
+
+class TestBoundaryProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(key_ranges, st.integers(min_value=1, max_value=10))
+    def test_boundaries_sorted_unique_interior(self, ranges, max_parts):
+        files = [
+            _meta(i + 1, min(a, b), max(a, b)) for i, (a, b) in enumerate(ranges)
+        ]
+        boundaries = pick_subcompaction_boundaries(files, max_parts)
+        assert len(boundaries) <= max_parts - 1 if max_parts > 1 else not boundaries
+        assert boundaries == sorted(set(boundaries))
+        if files:
+            lo = min(f.smallest_user_key for f in files)
+            hi = max(f.largest_user_key for f in files)
+            for boundary in boundaries:
+                assert lo < boundary < hi
