@@ -1,0 +1,84 @@
+"""E19 (extension) — crash recovery at scale + graceful degradation.
+
+E19a crashes the store *inside* a flush (``flush.before_manifest``) and
+measures parallel xWAL recovery across 1→8 shards: recovery time must fall
+monotonically with shard count while the recovered contents stay
+byte-identical (same digest in every row), and the whole sweep must be
+bit-for-bit reproducible across two runs.
+
+E19b storms only the mutating cloud requests (the op-prefix fault filter)
+during a fill: retries climb with the error rate, throughput degrades
+gracefully through retry/backoff, and no read ever returns a wrong or
+missing answer.
+
+Writes ``BENCH_e19.json`` so CI archives a machine-readable artifact
+alongside the tables.
+"""
+
+import json
+import pathlib
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import e19a_crash_recovery_shards, e19b_write_fault_storm
+
+ARTIFACT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_e19.json"
+
+
+def test_e19_reliability(benchmark):
+    table = run_experiment(benchmark, e19a_crash_recovery_shards)
+    idx = table.headers.index
+
+    # Recovery time decreases monotonically from 1 to 8 shards.
+    ms_by_shards = {row[idx("shards")]: row[idx("recovery_ms")] for row in table.rows}
+    shard_counts = sorted(ms_by_shards)
+    assert shard_counts == [1, 2, 4, 8]
+    for a, b in zip(shard_counts, shard_counts[1:]):
+        assert ms_by_shards[b] < ms_by_shards[a]
+
+    # Byte-identical recovered contents at every shard count.
+    digests = {row[idx("content_digest")] for row in table.rows}
+    assert len(digests) == 1
+
+    # Bit-for-bit reproducible: a second full run yields the same table.
+    again = e19a_crash_recovery_shards()
+    assert again.rows == table.rows
+
+    storm = e19b_write_fault_storm()
+    storm.show()
+    sidx = storm.headers.index
+    rates = [row[sidx("error_rate")] for row in storm.rows]
+    retries = [row[sidx("retries")] for row in storm.rows]
+    throughput = [row[sidx("fill_Kops/s")] for row in storm.rows]
+    wrong = [row[sidx("wrong_or_missing")] for row in storm.rows]
+
+    # Correctness never degrades, only throughput; retries absorb the storm.
+    assert all(w == 0 for w in wrong)
+    assert retries[0] == 0
+    assert retries[-1] > retries[0]
+    assert all(a <= b for a, b in zip(retries, retries[1:]))
+    # Graceful: even the harshest storm keeps >= half the fault-free rate.
+    assert throughput[-1] >= 0.5 * throughput[0]
+
+    # Determinism of the storm sweep too.
+    storm_again = e19b_write_fault_storm()
+    assert storm_again.rows == storm.rows
+
+    ARTIFACT.write_text(
+        json.dumps(
+            {
+                "experiment": "e19_reliability",
+                "recovery_ms_by_shards": {
+                    str(s): ms_by_shards[s] for s in shard_counts
+                },
+                "content_digest": next(iter(digests)),
+                "storm_retries_by_error_rate": {
+                    str(r): n for r, n in zip(rates, retries)
+                },
+                "storm_kops_by_error_rate": {
+                    str(r): t for r, t in zip(rates, throughput)
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )

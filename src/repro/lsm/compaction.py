@@ -48,6 +48,7 @@ from repro.lsm.table_builder import TableBuilder, TableProperties
 from repro.lsm.table_cache import TableCache
 from repro.lsm.version import FileMetaData, Version, VersionEdit
 from repro.sim.clock import ForkJoinRegion, SimClock
+from repro.sim.failure import crash_points
 from repro.storage.env import Env
 from repro.util.encoding import (
     MAX_SEQUENCE,
@@ -448,6 +449,9 @@ class CompactionJob:
             )
             self.stats.bytes_written += props.file_size
             builder = None
+            # One output is fully on disk, later ones not started: the
+            # classic partial-compaction crash (orphans, inputs live).
+            crash_points.reach("compaction.mid_output")
 
         for ikey, value in merged:
             parsed = parse_internal_key(ikey)

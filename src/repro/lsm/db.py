@@ -42,6 +42,7 @@ from repro.lsm.table_cache import TableCache
 from repro.lsm.version import FileMetaData, VersionEdit, VersionSet
 from repro.lsm.wal import LogWriter, read_log_file
 from repro.lsm.write_batch import WriteBatch
+from repro.sim.failure import crash_points
 from repro.storage.env import Env
 from repro.util.encoding import (
     MAX_SEQUENCE,
@@ -290,7 +291,9 @@ class DB:
         A crash between writing compaction/flush outputs and committing the
         manifest edit orphans those table files (on either tier); a crash
         between a manifest rewrite's CURRENT update and the old manifest's
-        deletion orphans a manifest. Both are reclaimed here.
+        deletion orphans a manifest; a crash between a flush's manifest
+        commit and the old log's deletion leaves stale WAL generations
+        (already superseded by the flushed table). All are reclaimed here.
         """
         live = self.versions.current.live_file_numbers()
         for name in listing:
@@ -298,8 +301,10 @@ class DB:
             if parsed is None:
                 continue
             kind, number = parsed
-            doomed = (kind == "table" and number not in live) or (
-                kind == "manifest" and number != self.versions.manifest_number
+            doomed = (
+                (kind == "table" and number not in live)
+                or (kind == "manifest" and number != self.versions.manifest_number)
+                or (kind == self._WAL_KIND and number < self.versions.log_number)
             )
             if doomed and self.env.file_exists(name):
                 self.env.delete_file(name)
@@ -445,9 +450,11 @@ class DB:
         )
         old_wal_number = self._wal_number
         new_wal_number = self._rotate_wal()
+        crash_points.reach("flush.before_manifest")
         edit = VersionEdit(log_number=new_wal_number, last_sequence=self.versions.last_sequence)
         edit.add_file(0, meta)
         self.versions.log_and_apply(edit)
+        crash_points.reach("flush.after_manifest")
         self.memtable = MemTable(seed=number)
         self.flush_count += 1
         for name_ in self._wal_file_names(old_wal_number):
@@ -569,7 +576,9 @@ class DB:
             newest_snapshot=max(self._snapshots, default=0),
             listener=listener,
         )
+        crash_points.reach("compaction.after_outputs")
         self.versions.log_and_apply(edit)
+        crash_points.reach("compaction.before_input_delete")
         # Physically delete replaced inputs (trivial moves keep their file;
         # files still referenced by a pinned version — a live iterator —
         # are deferred until the pin is released).

@@ -20,6 +20,7 @@ from repro.errors import CorruptionError, RecoveryError
 from repro.lsm.format import current_file_name, manifest_file_name
 from repro.lsm.options import Options
 from repro.lsm.wal import LogWriter, read_log_file
+from repro.sim.failure import crash_points
 from repro.storage.env import Env
 from repro.util.encoding import compare_internal, extract_user_key
 from repro.util.varint import decode_varint, encode_varint, get_length_prefixed, put_length_prefixed
@@ -385,10 +386,12 @@ class VersionSet:
         for level, meta in self.current.all_files():
             snapshot.add_file(level, meta)
         writer.add_record(snapshot.encode())
+        crash_points.reach("manifest.rewrite_before_current")
         self.env.write_file(current_file_name(self.prefix), f"{new_number}".encode())
         self._manifest.close()
         self._manifest = writer
         self._manifest_number = new_number
+        crash_points.reach("manifest.rewrite_before_delete")
         old_name = manifest_file_name(self.prefix, old_number)
         if self.env.file_exists(old_name):
             self.env.delete_file(old_name)

@@ -30,6 +30,7 @@ from repro.lsm.format import (
 from repro.lsm.version import VersionEdit
 from repro.lsm.wal import LogReader, LogWriter
 from repro.metrics.counters import CounterSet
+from repro.sim.failure import crash_points
 from repro.storage.cloud import CloudObjectStore
 from repro.storage.env import CLOUD
 from repro.storage.local import LocalDevice
@@ -94,7 +95,11 @@ def create_checkpoint(store, name: str) -> CheckpointInfo:
             uploaded += meta.file_size
         total += meta.file_size
         count += 1
+        # Some tables copied, manifest absent: the partial checkpoint must
+        # be invisible to list/restore and harmless to the live store.
+        crash_points.reach("checkpoint.mid_copy")
 
+    crash_points.reach("checkpoint.before_manifest")
     payload = snapshot.encode()
     framed = encode_fixed32(masked_crc32(payload)) + encode_fixed32(len(payload)) + payload
     cloud.put(_checkpoint_manifest_key(name), framed)
@@ -108,11 +113,19 @@ def create_checkpoint(store, name: str) -> CheckpointInfo:
 
 
 def list_checkpoints(cloud: CloudObjectStore) -> list[str]:
-    """Names of every checkpoint in the object store."""
+    """Names of every *complete* checkpoint in the object store.
+
+    The manifest object is the commit point: a crash mid-copy leaves table
+    objects but no manifest, and that partial checkpoint must be invisible
+    here just as it is unrestorable (``delete_checkpoint`` still reclaims
+    its objects).
+    """
     names = set()
     for key in cloud.list_keys(CHECKPOINT_PREFIX):
         rest = key[len(CHECKPOINT_PREFIX) :]
-        names.add(rest.split("/", 1)[0])
+        name, _, tail = rest.partition("/")
+        if tail == "MANIFEST":
+            names.add(name)
     return sorted(names)
 
 

@@ -32,6 +32,7 @@ from repro.lsm.compaction import CompactionEvent
 from repro.lsm.db import DB, FlushEvent
 from repro.lsm.format import table_file_name
 from repro.sim.clock import ForkJoinRegion
+from repro.sim.failure import crash_points
 from repro.storage.env import CLOUD, LOCAL, HybridEnv
 
 
@@ -62,11 +63,18 @@ class PlacementConfig:
     the rest of the merge), queueing behind a free slot when all are busy.
     1 = serial uploads after the compaction, the pre-overlap behaviour."""
 
+    multipart_part_bytes: int = 8 << 20
+    """Demotion uploads larger than one part stream as a multipart upload
+    (parts invisible until completed; a crash abandons them). Tables at or
+    under one part go up as a single atomic PUT."""
+
     def __post_init__(self) -> None:
         if self.cloud_level < 1:
             raise ValueError("cloud_level must be >= 1 (L0 is always local)")
         if self.upload_parallelism < 1:
             raise ValueError("upload_parallelism must be >= 1")
+        if self.multipart_part_bytes < 1:
+            raise ValueError("multipart_part_bytes must be >= 1")
         if not 0.0 < self.promotion_headroom <= 1.0:
             raise ValueError("promotion_headroom must be in (0, 1]")
         if self.promotion_enabled and self.local_bytes_budget is None:
@@ -164,12 +172,32 @@ class PlacementManager:
             counters.inc("compaction.upload_overlap_us_saved", int(seconds * 1e6))
 
     def _demote(self, number: int) -> None:
+        """Upload one table to the cloud tier, then drop the local copy.
+
+        Tables above ``multipart_part_bytes`` stream as a multipart upload:
+        parts are durable server-side but the object stays invisible until
+        completion, so a crash mid-upload leaves the local copy authoritative
+        and the abandoned parts reclaimable. Either way the local delete
+        happens only after the cloud object is fully visible.
+        """
         name = table_file_name(self.db.prefix, number)
         if not self.env.file_exists(name):
             return  # already deleted by a later compaction
         if self.env.tier_of(name) == CLOUD:
             return
-        self.env.migrate(name, CLOUD)
+        data = self.env.local.read_file(name)
+        store = self.env.cloud.store
+        part_bytes = self.config.multipart_part_bytes
+        if len(data) > part_bytes:
+            for offset in range(0, len(data), part_bytes):
+                store.upload_part(name, data[offset : offset + part_bytes])
+                crash_points.reach("demote.mid_upload")
+            store.complete_multipart(name, data)
+        else:
+            store.put(name, data)
+        self.env.note_tier(name, CLOUD)
+        crash_points.reach("demote.before_local_delete")
+        self.env.local.delete_file(name)
         self.demotions += 1
         # The reader (if open) holds a local-tier file handle; reopen lazily.
         self.db.table_cache.evict(number)

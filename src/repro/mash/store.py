@@ -76,6 +76,11 @@ class StoreConfig:
 
     cloud_fault_seed: int = 0
 
+    cloud_fault_op_prefixes: tuple[str, ...] | None = None
+    """Restrict injected cloud faults to requests whose op name starts with
+    one of these prefixes (e.g. ``("cloud.put", "cloud.upload_part")`` to
+    storm writes while reads stay healthy). ``None`` = all requests."""
+
     def small(self) -> "StoreConfig":
         """Scaled-down engine thresholds for tests and quick experiments."""
         return replace(
@@ -208,7 +213,9 @@ class RocksMashStore(StoreFacade):
             from repro.sim.failure import FaultInjector
 
             faults = FaultInjector(
-                error_rate=config.cloud_error_rate, seed=config.cloud_fault_seed
+                error_rate=config.cloud_error_rate,
+                seed=config.cloud_fault_seed,
+                op_prefixes=config.cloud_fault_op_prefixes,
             )
         cloud = CloudObjectStore(
             clock, config.cloud_model, counters=counters, faults=faults
@@ -266,16 +273,30 @@ class RocksMashStore(StoreFacade):
             counters=counters,
         )
 
-    def reopen(self, *, crash: bool = False) -> "RocksMashStore":
+    def reopen(
+        self, *, crash: bool = False, torn_tail_seed: int | None = None
+    ) -> "RocksMashStore":
         """Simulate a restart over the same devices.
 
-        ``crash=True`` drops unsynced local state first (power failure);
-        otherwise the store is closed cleanly. Returns the new instance —
-        the old one must not be used afterwards. ``last_recovery_seconds``
-        on the result reports the simulated recovery time.
+        ``crash=True`` drops unsynced local state (power failure) and
+        abandons incomplete cloud multipart uploads; otherwise the store is
+        closed cleanly. ``torn_tail_seed`` (with ``crash=True``) keeps a
+        seeded-random byte prefix of each unsynced tail instead of dropping
+        it whole — half-written log records the recovery path must treat as
+        absent. Returns the new instance — the old one must not be used
+        afterwards. ``last_recovery_seconds`` on the result reports the
+        simulated recovery time.
         """
         if crash:
-            self.local_device.crash()
+            if torn_tail_seed is not None:
+                import random
+
+                self.local_device.crash(
+                    torn_tail=True, rng=random.Random(torn_tail_seed)
+                )
+            else:
+                self.local_device.crash()
+            self.cloud_store.crash()
         else:
             self.close()
         return type(self)(

@@ -35,6 +35,7 @@ from repro.lsm.format import xlog_file_name
 from repro.lsm.wal import LogReader, LogWriter
 from repro.lsm.write_batch import WriteBatch
 from repro.sim.clock import ForkJoinRegion
+from repro.sim.failure import crash_points
 from repro.storage.env import Env
 from repro.storage.local import LocalDevice
 from repro.util.crc import crc32
@@ -147,7 +148,11 @@ class XWalWriter:
             return
         if sync and len(touched) > 1:
             region = ForkJoinRegion(self.device.clock, [self.device])
-            for shard in touched:
+            for i, shard in enumerate(touched):
+                if i > 0:
+                    # Earlier shards of this batch are durable, this one and
+                    # later ones are not — the torn multi-shard write.
+                    crash_points.reach("xwal.partial_sync")
                 with region.branch():
                     self._shards[shard].add_record(
                         encode_shard_record(per_shard[shard]), sync=True

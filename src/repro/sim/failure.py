@@ -1,24 +1,43 @@
-"""Fault injection for simulated devices.
+"""Fault injection for simulated devices: transient errors and crashes.
 
-Two failure modes matter for the paper's reliability story:
+Three failure modes matter for the paper's reliability story:
 
 * **Transient cloud errors** — an object-store request fails (throttling,
   5xx) and must be retried. :class:`FaultInjector` fails a configurable
   fraction of operations with :class:`~repro.errors.IOErrorSim`; callers
   (the cloud store) retry with capped exponential backoff charged to the
-  simulated clock.
-* **Crash** — a process stops between two operations. Simulated by
-  discarding unsynced buffered state; devices expose ``crash()`` which drops
-  writes that were never ``sync``'d, letting recovery tests assert that every
-  *acknowledged* write survives.
+  simulated clock. An optional op-prefix filter targets specific request
+  kinds (e.g. storm only ``cloud.put*`` while reads stay healthy).
+* **Crash between operations** — a process stops between two store calls.
+  Simulated by discarding unsynced buffered state; devices expose
+  ``crash()`` which drops writes that were never ``sync``'d (or, in
+  torn-tail mode, keeps an arbitrary byte prefix of them).
+* **Crash inside an operation** — the interesting case for an LSM store:
+  power fails halfway through a flush, compaction, manifest rewrite,
+  demotion upload, xWAL multi-shard sync, or checkpoint. The
+  :class:`CrashPointRegistry` names every such site; arming one makes the
+  next pass through it raise :class:`CrashPointFired`, after which a
+  harness crashes the devices and re-opens the store to check recovery.
+
+:class:`RecoveryOracle` is the companion checker: it shadows every
+*acknowledged* write/delete during a workload and, after crash + reopen,
+verifies durability (every acked write readable), per-key prefix
+consistency (a key may only hold its last acked value or the single
+in-flight value the crash interrupted), and no resurrection of deleted or
+never-written keys.
 """
 
 from __future__ import annotations
 
 import random
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.errors import IOErrorSim
+
+# --------------------------------------------------------------------------
+# Transient faults
+# --------------------------------------------------------------------------
 
 
 @dataclass
@@ -30,12 +49,19 @@ class FaultInjector:
         seed: RNG seed so failure sequences are reproducible.
         fail_next: one-shot queue — explicit failures scheduled by tests,
             consumed before any probabilistic failure is considered.
+        op_prefixes: optional filter — only operations whose name starts
+            with one of these prefixes are eligible to fail (both for the
+            probabilistic rate and the ``fail_next`` queue). ``None``
+            keeps the historical uniform behaviour. Example:
+            ``("cloud.put", "cloud.upload_part")`` storms writes while
+            reads stay healthy.
     """
 
     error_rate: float = 0.0
     seed: int = 0
     fail_next: list[str] = field(default_factory=list)
     injected: int = 0
+    op_prefixes: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.error_rate <= 1.0:
@@ -43,11 +69,19 @@ class FaultInjector:
         self._rng = random.Random(self.seed)
 
     def schedule_failure(self, reason: str = "scheduled fault") -> None:
-        """Force the next checked operation to fail with ``reason``."""
+        """Force the next checked (matching) operation to fail with ``reason``."""
         self.fail_next.append(reason)
+
+    def matches(self, op: str) -> bool:
+        """Whether ``op`` is eligible for injection under the prefix filter."""
+        if self.op_prefixes is None:
+            return True
+        return any(op.startswith(prefix) for prefix in self.op_prefixes)
 
     def check(self, op: str) -> None:
         """Raise :class:`IOErrorSim` if a fault fires for this operation."""
+        if not self.matches(op):
+            return
         if self.fail_next:
             self.injected += 1
             raise IOErrorSim(f"{op}: {self.fail_next.pop(0)}")
@@ -68,3 +102,273 @@ class RetryPolicy:
     def backoff(self, attempt: int) -> float:
         """Delay before retry number ``attempt`` (0-based)."""
         return min(self.max_backoff, self.initial_backoff * self.multiplier**attempt)
+
+
+# --------------------------------------------------------------------------
+# Crash points
+# --------------------------------------------------------------------------
+
+
+class CrashPointFired(Exception):
+    """A crash point fired: the simulated process dies *here*.
+
+    Deliberately **not** a :class:`~repro.errors.ReproError`: nothing in the
+    library may catch and survive it — it must propagate to the test
+    harness, which then crashes the devices and re-opens the store.
+    """
+
+    def __init__(self, site: str) -> None:
+        super().__init__(f"simulated crash at {site}")
+        self.site = site
+
+
+#: Every instrumented mid-operation crash site, with what a crash there
+#: leaves behind. Central so harnesses can enumerate the full matrix even
+#: before the instrumented modules are imported.
+CRASH_SITES: dict[str, str] = {
+    "flush.before_manifest": (
+        "L0 table written and WAL rotated, manifest edit not yet committed "
+        "(orphan table; old WAL generation still replayable)"
+    ),
+    "flush.after_manifest": (
+        "manifest edit committed, old WAL generation not yet deleted "
+        "(stale log files on disk)"
+    ),
+    "compaction.mid_output": (
+        "some compaction output tables fully written, the rest not started "
+        "(orphan outputs; inputs still live)"
+    ),
+    "compaction.after_outputs": (
+        "all compaction outputs written, manifest edit not yet committed "
+        "(orphan outputs; inputs still live)"
+    ),
+    "compaction.before_input_delete": (
+        "manifest edit committed, replaced input tables not yet deleted "
+        "(orphan inputs)"
+    ),
+    "manifest.rewrite_before_current": (
+        "new snapshot manifest written, CURRENT still names the old one "
+        "(orphan new manifest)"
+    ),
+    "manifest.rewrite_before_delete": (
+        "CURRENT repointed to the new manifest, old manifest not yet deleted "
+        "(orphan old manifest)"
+    ),
+    "demote.mid_upload": (
+        "some multipart parts of a demotion upload sent, object not visible "
+        "(incomplete multipart dropped by the crash; local copy intact)"
+    ),
+    "demote.before_local_delete": (
+        "demoted table fully uploaded, local copy not yet deleted "
+        "(table temporarily on both tiers)"
+    ),
+    "xwal.partial_sync": (
+        "a multi-shard write batch synced to some xWAL shards but not all "
+        "(per-key prefix consistency must still hold)"
+    ),
+    "checkpoint.mid_copy": (
+        "some checkpoint table objects copied, checkpoint manifest absent "
+        "(partial checkpoint must be unrestorable, store unaffected)"
+    ),
+    "checkpoint.before_manifest": (
+        "every checkpoint table copied, checkpoint manifest object absent "
+        "(same contract as mid_copy)"
+    ),
+}
+
+
+class CrashPointRegistry:
+    """Named mid-operation crash sites with deterministic arming.
+
+    Instrumented code calls :meth:`reach` at each site; the call is a no-op
+    (plus a hit count) unless that site is armed. Arming with ``skip=k``
+    fires on the *(k+1)-th* pass through the site, which lets schedules
+    explore "the same crash point, later in the workload". Firing disarms
+    the registry so recovery code re-entering the same site does not crash
+    again.
+    """
+
+    def __init__(self, sites: dict[str, str] | None = None) -> None:
+        self._sites = dict(CRASH_SITES if sites is None else sites)
+        self.hits: dict[str, int] = {}
+        self.fired: str | None = None
+        self._armed: str | None = None
+        self._skip = 0
+
+    # -- site catalogue -----------------------------------------------------
+
+    def register(self, site: str, description: str = "") -> None:
+        """Add a site (idempotent); harness matrices pick it up automatically."""
+        self._sites.setdefault(site, description)
+
+    def sites(self) -> list[str]:
+        """All registered site names, sorted."""
+        return sorted(self._sites)
+
+    def describe(self, site: str) -> str:
+        return self._sites[site]
+
+    # -- arming -------------------------------------------------------------
+
+    @property
+    def armed(self) -> str | None:
+        return self._armed
+
+    def arm(self, site: str, *, skip: int = 0) -> None:
+        """Fire at the (skip+1)-th reach of ``site``."""
+        if site not in self._sites:
+            raise ValueError(f"unknown crash point {site!r}")
+        if skip < 0:
+            raise ValueError("skip must be >= 0")
+        self._armed = site
+        self._skip = skip
+        self.fired = None
+
+    def disarm(self) -> None:
+        self._armed = None
+        self._skip = 0
+
+    def reset(self) -> None:
+        """Disarm and clear hit counts / fired state (test isolation)."""
+        self.disarm()
+        self.hits.clear()
+        self.fired = None
+
+    # -- the instrumented call ---------------------------------------------
+
+    def reach(self, site: str) -> None:
+        """Mark ``site`` reached; raise :class:`CrashPointFired` if armed."""
+        if site not in self._sites:
+            raise ValueError(f"crash point {site!r} was never registered")
+        self.hits[site] = self.hits.get(site, 0) + 1
+        if self._armed != site:
+            return
+        if self._skip > 0:
+            self._skip -= 1
+            return
+        self.disarm()
+        self.fired = site
+        raise CrashPointFired(site)
+
+
+#: Process-wide registry. Instrumented modules call
+#: ``crash_points.reach("site")``; disarmed reaches cost one dict increment,
+#: so production paths stay effectively free.
+crash_points = CrashPointRegistry()
+
+
+@contextmanager
+def armed(site: str, *, skip: int = 0):
+    """Arm ``site`` for the duration of a block, disarming on exit."""
+    crash_points.arm(site, skip=skip)
+    try:
+        yield crash_points
+    finally:
+        crash_points.disarm()
+
+
+# --------------------------------------------------------------------------
+# Recovery oracle
+# --------------------------------------------------------------------------
+
+
+class RecoveryOracle:
+    """Shadow model of acknowledged state for crash-recovery verification.
+
+    Usage: route every mutation through :meth:`put` / :meth:`delete` /
+    :meth:`write` (they mark the op in-flight, issue it, and acknowledge it
+    when the store returns). If a :class:`CrashPointFired` interrupts an
+    op, call :meth:`crash` — the interrupted op's keys become *maybe*
+    values (the crash may or may not have persisted them; either outcome is
+    legal, anything else is a bug). After reopening, :meth:`verify` checks
+    the recovered store against the shadow.
+    """
+
+    def __init__(self) -> None:
+        #: key -> last acknowledged value (None = acknowledged delete).
+        self.acked: dict[bytes, bytes | None] = {}
+        #: keys of the op currently being issued (cleared on commit/crash).
+        self.in_flight: dict[bytes, bytes | None] = {}
+        #: key -> value of the op a crash interrupted (may have persisted).
+        self.maybe: dict[bytes, bytes | None] = {}
+        self.crashed = False
+        self.ops_acked = 0
+
+    # -- issuing operations -------------------------------------------------
+
+    def begin(self, ops: dict[bytes, bytes | None]) -> None:
+        """Mark an atomic batch of (key -> value-or-delete) as in flight."""
+        self.in_flight = dict(ops)
+
+    def commit(self) -> None:
+        """The store acknowledged the in-flight op: it is now durable."""
+        self.acked.update(self.in_flight)
+        self.in_flight = {}
+        self.ops_acked += 1
+
+    def crash(self) -> None:
+        """A crash interrupted the in-flight op: its effect is now 'maybe'."""
+        self.maybe = dict(self.in_flight)
+        self.in_flight = {}
+        self.crashed = True
+
+    # -- convenience wrappers ------------------------------------------------
+
+    def put(self, store, key: bytes, value: bytes) -> None:
+        self.begin({key: value})
+        store.put(key, value)
+        self.commit()
+
+    def delete(self, store, key: bytes) -> None:
+        self.begin({key: None})
+        store.delete(key)
+        self.commit()
+
+    def write(self, store, batch) -> None:
+        """Issue a :class:`~repro.lsm.write_batch.WriteBatch` atomically."""
+        from repro.util.encoding import TYPE_VALUE
+
+        ops: dict[bytes, bytes | None] = {}
+        for op in batch:
+            ops[op.key] = op.value if op.value_type == TYPE_VALUE else None
+        self.begin(ops)
+        store.write(batch)
+        self.commit()
+
+    # -- verification --------------------------------------------------------
+
+    def tracked_keys(self) -> set[bytes]:
+        return set(self.acked) | set(self.maybe)
+
+    def verify(self, store) -> list[str]:
+        """Check the (recovered) store against the shadow; return problems.
+
+        Invariants:
+
+        * **durability** — every key holds its last acknowledged value …
+        * **prefix consistency** — … or, only if the crash interrupted a
+          write of that key, the interrupted value. Never anything older,
+          newer, or fabricated.
+        * **no resurrection** — an acknowledged delete stays deleted, and a
+          scan surfaces no keys the workload never wrote.
+        """
+        problems: list[str] = []
+        for key in sorted(self.tracked_keys()):
+            actual = store.get(key)
+            allowed = {self.acked.get(key)}
+            if key in self.maybe:
+                allowed.add(self.maybe[key])
+            if actual not in allowed:
+                want = " or ".join(repr(v) for v in sorted(allowed, key=repr))
+                problems.append(
+                    f"key {key!r}: recovered {actual!r}, expected {want}"
+                )
+        live = {key for key, value in self.acked.items() if value is not None}
+        live |= {key for key, value in self.maybe.items() if value is not None}
+        for key, _value in store.scan():
+            if key not in live:
+                problems.append(
+                    f"key {key!r}: surfaced by scan but never durably written "
+                    "(resurrected delete or fabricated key)"
+                )
+        return problems

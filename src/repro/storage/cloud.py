@@ -40,6 +40,10 @@ class CloudObjectStore(ClockCharged):
         self.faults = faults
         self.retry = retry or RetryPolicy()
         self._objects: dict[str, bytes] = {}
+        # In-flight multipart uploads: key -> parts received so far. Parts
+        # are durable server-side but invisible until complete_multipart;
+        # crash() abandons them (S3 would eventually lifecycle them away).
+        self._multiparts: dict[str, list[bytes]] = {}
 
     # -- request plumbing ---------------------------------------------------
 
@@ -112,11 +116,19 @@ class CloudObjectStore(ClockCharged):
         self.counters.inc("cloud.delete_ops")
 
     def copy(self, src: str, dst: str) -> None:
-        """Server-side copy (no egress); used to emulate rename."""
+        """Server-side copy (no egress); used to emulate rename.
+
+        Billed as one PUT request whose stored bytes count toward
+        ``put_bytes`` — the duplicated object occupies real capacity even
+        though no bytes crossed the wire (``cloud.copy_bytes`` tracks the
+        no-egress portion separately).
+        """
         data = self._require(src)
         self._attempt(f"cloud.copy({src})", self.model.write_cost(0))
         self._objects[dst] = data
         self.counters.inc("cloud.put_ops")
+        self.counters.inc("cloud.put_bytes", len(data))
+        self.counters.inc("cloud.copy_bytes", len(data))
 
     # -- multipart upload ----------------------------------------------------
 
@@ -128,6 +140,7 @@ class CloudObjectStore(ClockCharged):
         loses the upload. This is how cloud-backed writable files stream.
         """
         self._attempt(f"cloud.upload_part({key})", self.model.write_cost(len(data)))
+        self._multiparts.setdefault(key, []).append(bytes(data))
         self.counters.inc("cloud.put_ops")
         self.counters.inc("cloud.put_bytes", len(data))
 
@@ -135,7 +148,12 @@ class CloudObjectStore(ClockCharged):
         """Make a multipart object visible. Parts were charged separately."""
         self._attempt(f"cloud.complete_multipart({key})", self.model.write_cost(0))
         self._objects[key] = bytes(data)
+        self._multiparts.pop(key, None)
         self.counters.inc("cloud.put_ops")
+
+    def pending_multiparts(self) -> list[str]:
+        """Keys with an incomplete multipart upload in flight."""
+        return sorted(self._multiparts)
 
     def list_keys(self, prefix: str = "") -> list[str]:
         """LIST request; charges one round trip per 1000 keys (S3 paging)."""
@@ -149,6 +167,17 @@ class CloudObjectStore(ClockCharged):
     def used_bytes(self) -> int:
         """Total stored bytes (for the cost model)."""
         return sum(len(v) for v in self._objects.values())
+
+    # -- failure semantics ---------------------------------------------------
+
+    def crash(self) -> None:
+        """Client crash: abandon every incomplete multipart upload.
+
+        Completed objects are unaffected (the cloud is durable); only
+        uploads that never reached :meth:`complete_multipart` vanish, as
+        S3 eventually aborts orphaned multipart uploads.
+        """
+        self._multiparts.clear()
 
     def _require(self, key: str) -> bytes:
         data = self._objects.get(key)

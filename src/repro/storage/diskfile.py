@@ -20,6 +20,7 @@ subdirectories under the root.
 from __future__ import annotations
 
 import os
+import random
 from pathlib import Path
 
 from repro.errors import IOErrorSim, NotFoundError
@@ -239,7 +240,24 @@ class DirectoryBackedDevice(LocalDevice):
 
     # -- failure semantics ------------------------------------------------------
 
-    def crash(self) -> None:
+    def crash(self, *, torn_tail: bool = False, rng: random.Random | None = None) -> None:
+        if rng is None:
+            rng = random.Random(0)
+        if torn_tail:
+            for name, pending in list(self._pending.items()):
+                if not pending:
+                    continue
+                keep = rng.randrange(len(pending) + 1)
+                if keep == 0:
+                    continue
+                path = self._path(name)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                with open(path, "ab") as fh:
+                    fh.write(bytes(pending[:keep]))
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                self._sizes[name] = self._sizes.get(name, 0) + keep
+                self._never_synced.discard(name)
         for name in list(self._never_synced):
             self._pending.pop(name, None)
         self._never_synced.clear()

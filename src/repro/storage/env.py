@@ -348,9 +348,22 @@ class HybridEnv(Env):
         self._registry[name] = tier
         self._env(tier).write_file(name, data)
 
+    def note_tier(self, name: str, tier: str) -> None:
+        """Record that ``name`` now lives on ``tier`` (staged migrations)."""
+        self._env(tier)  # validate
+        self._registry[name] = tier
+
     def delete_file(self, name: str) -> None:
-        tier = self.tier_of(name)
-        self._env(tier).delete_file(name)
+        # A crash between a staged upload completing and the source delete
+        # can leave the file on both tiers; delete every copy so the later
+        # (post-recovery) delete cannot leak the shadow copy.
+        found = False
+        for env in (self.local, self.cloud):
+            if env.file_exists(name):
+                env.delete_file(name)
+                found = True
+        if not found:
+            raise NotFoundError(f"file not found on any tier: {name}")
         self._registry.pop(name, None)
 
     def rename_file(self, old: str, new: str) -> None:

@@ -13,6 +13,7 @@ DESIGN.md §4 for the timing methodology.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 from repro.errors import IOErrorSim, NotFoundError
@@ -148,13 +149,29 @@ class LocalDevice(ClockCharged):
 
     # -- failure semantics --------------------------------------------------
 
-    def crash(self) -> None:
-        """Simulate a power failure: drop unsynced tails and unsynced files."""
-        doomed = [name for name, st in self._files.items() if not st.synced_once]
+    def crash(self, *, torn_tail: bool = False, rng: random.Random | None = None) -> None:
+        """Simulate a power failure: drop unsynced tails and unsynced files.
+
+        With ``torn_tail=True`` an arbitrary byte *prefix* of each unsynced
+        tail survives instead of none of it — the disk persisted part of a
+        write the filesystem never acknowledged. This is strictly harsher
+        than the default: recovery must treat a half-written record the
+        same as a missing one. ``rng`` picks the surviving prefix lengths
+        (a seeded :class:`random.Random` keeps schedules deterministic).
+        """
+        if rng is None:
+            rng = random.Random(0)
+        doomed = []
+        for name, state in self._files.items():
+            if torn_tail and state.pending:
+                keep = rng.randrange(len(state.pending) + 1)
+                state.durable += state.pending[:keep]
+                state.synced_once = state.synced_once or keep > 0
+            state.pending.clear()
+            if not state.synced_once:
+                doomed.append(name)
         for name in doomed:
             del self._files[name]
-        for state in self._files.values():
-            state.pending.clear()
 
     # -- internal -----------------------------------------------------------
 

@@ -1,0 +1,100 @@
+"""In-process run of the crashmonkey matrix.
+
+Keeps the reliability harness itself under test: every registered crash
+point must fire under the standard workload and pass recovery
+verification, random seeded schedules must pass, and a deliberately
+broken oracle expectation must be *caught* (the harness can fail, so a
+clean matrix means something).
+"""
+
+import pytest
+
+from repro.bench.crashmonkey import (
+    ScheduleResult,
+    crashmonkey_config,
+    format_matrix,
+    main,
+    run_matrix,
+    run_schedule,
+)
+from repro.sim.failure import crash_points
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    crash_points.reset()
+    yield
+    crash_points.reset()
+
+
+def test_every_registered_site_fires_and_recovers():
+    results = [
+        run_schedule(site, require_fired=True) for site in crash_points.sites()
+    ]
+    assert len(results) >= 8
+    assert all(r.fired for r in results), format_matrix(results)
+    assert all(r.ok for r in results), format_matrix(results)
+
+
+def test_random_schedules_pass():
+    results = run_matrix(seeds=3)
+    assert all(r.ok for r in results), format_matrix(results)
+
+
+def test_schedule_is_deterministic():
+    a = run_schedule("compaction.after_outputs", torn_tail_seed=5)
+    b = run_schedule("compaction.after_outputs", torn_tail_seed=5)
+    assert (a.fired, a.problems) == (b.fired, b.problems)
+
+
+def test_unreached_site_reported_when_required():
+    # skip=10**6 means the site can never fire within the workload.
+    result = run_schedule("flush.before_manifest", skip=10**6, require_fired=True)
+    assert not result.fired
+    assert not result.ok
+    assert "never reached" in result.problems[0]
+
+
+def test_harness_detects_injected_divergence(monkeypatch):
+    # Sabotage verification so a "lost" acked write is simulated; the
+    # harness must flag it rather than report a clean pass.
+    from repro.sim import failure
+
+    real_verify = failure.RecoveryOracle.verify
+
+    def lying_store_verify(self, store):
+        self.acked[b"never-written-key"] = b"expected-value"
+        return real_verify(self, store)
+
+    monkeypatch.setattr(failure.RecoveryOracle, "verify", lying_store_verify)
+    result = run_schedule("flush.after_manifest")
+    assert not result.ok
+
+
+def test_format_matrix_summarises():
+    results = [
+        ScheduleResult(site="flush.before_manifest", skip=0, torn_tail=False, fired=True),
+        ScheduleResult(
+            site="demote.mid_upload",
+            skip=1,
+            torn_tail=True,
+            fired=True,
+            problems=["boom"],
+        ),
+    ]
+    text = format_matrix(results)
+    assert "2 schedules, 1 failing" in text
+    assert "! boom" in text
+
+
+def test_cli_quick_exits_zero(capsys):
+    assert main(["--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "0 failing" in out
+
+
+def test_config_uses_tiny_thresholds():
+    config = crashmonkey_config()
+    assert config.options.write_buffer_size <= 8 << 10
+    assert config.placement.multipart_part_bytes <= 4 << 10
+    assert config.xwal.num_shards > 1

@@ -140,3 +140,110 @@ class TestRetries:
             faults.schedule_failure()
         with pytest.raises(IOErrorSim):
             store.get("k")
+
+
+class TestMutatingOpAccounting:
+    """Audit every mutating op against the cost model's inputs.
+
+    ``CostModel.request_cost`` bills ``cloud.put_ops``; ``storage_cost``
+    bills ``used_bytes()``. Each mutating request must keep both honest —
+    the server-side ``copy`` historically incremented ``put_ops`` without
+    ``put_bytes``/storage for the duplicated object.
+    """
+
+    def test_put(self, store):
+        store.put("k", b"12345")
+        assert store.counters.get("cloud.put_ops") == 1
+        assert store.counters.get("cloud.put_bytes") == 5
+        assert store.used_bytes() == 5
+
+    def test_delete(self, store):
+        store.put("k", b"12345")
+        store.delete("k")
+        assert store.counters.get("cloud.delete_ops") == 1
+        assert store.counters.get("cloud.put_ops") == 1  # unchanged
+        assert store.used_bytes() == 0
+
+    def test_copy(self, store):
+        store.put("src", b"abcdef")
+        store.copy("src", "dst")
+        # One PUT request whose stored bytes count; no egress.
+        assert store.counters.get("cloud.put_ops") == 2
+        assert store.counters.get("cloud.put_bytes") == 12
+        assert store.counters.get("cloud.copy_bytes") == 6
+        assert store.counters.get("cloud.get_bytes") == 0
+        assert store.used_bytes() == 12
+
+    def test_upload_part(self, store):
+        store.upload_part("obj", b"abcd")
+        assert store.counters.get("cloud.put_ops") == 1
+        assert store.counters.get("cloud.put_bytes") == 4
+        assert store.used_bytes() == 0  # invisible until completed
+
+    def test_complete_multipart(self, store):
+        store.upload_part("obj", b"abcd")
+        store.complete_multipart("obj", b"abcdefgh")
+        # Completion is one more request; parts already paid the bytes.
+        assert store.counters.get("cloud.put_ops") == 2
+        assert store.counters.get("cloud.put_bytes") == 4
+        assert store.used_bytes() == 8
+
+    def test_head_and_list_are_not_puts(self, store):
+        store.put("k", b"xy")
+        store.head("k")
+        store.list_keys()
+        assert store.counters.get("cloud.put_ops") == 1
+        assert store.counters.get("cloud.head_ops") == 1
+        assert store.counters.get("cloud.list_ops") == 1
+
+
+class TestCrashSemantics:
+    def test_crash_drops_incomplete_multipart(self, store):
+        store.upload_part("obj", b"part1")
+        assert store.pending_multiparts() == ["obj"]
+        store.crash()
+        assert store.pending_multiparts() == []
+        store.complete_multipart("other", b"x")  # unrelated upload still fine
+        assert not store.exists("obj")
+
+    def test_crash_keeps_completed_objects(self, store):
+        store.put("a", b"1")
+        store.upload_part("b", b"2")
+        store.complete_multipart("b", b"2")
+        store.crash()
+        assert store.get("a") == b"1"
+        assert store.get("b") == b"2"
+
+    def test_completion_clears_pending(self, store):
+        store.upload_part("obj", b"p1")
+        store.upload_part("obj", b"p2")
+        store.complete_multipart("obj", b"p1p2")
+        assert store.pending_multiparts() == []
+
+
+class TestOpPrefixFilter:
+    def test_faults_only_hit_matching_ops(self):
+        faults = FaultInjector(error_rate=1.0, seed=1, op_prefixes=("cloud.put",))
+        store = CloudObjectStore(
+            SimClock(), faults=faults, retry=RetryPolicy(max_attempts=2, initial_backoff=1e-4)
+        )
+        with pytest.raises(IOErrorSim):
+            store.put("k", b"v")
+        store._objects["k"] = b"v"  # place the object despite the write storm
+        assert store.get("k") == b"v"  # reads never fail
+        assert store.get_range("k", 0, 1) == b"v"
+        assert faults.injected >= 2
+
+    def test_fail_next_respects_filter(self):
+        faults = FaultInjector(op_prefixes=("cloud.get",))
+        store = CloudObjectStore(SimClock(), faults=faults)
+        faults.schedule_failure("targeted")
+        store.put("k", b"v")  # filtered out: the scheduled failure waits
+        assert faults.fail_next  # still queued
+        assert store.get("k") == b"v"  # retried transparently
+        assert store.counters.get("cloud.retries") == 1
+
+    def test_default_remains_uniform(self):
+        faults = FaultInjector()
+        assert faults.matches("local.sync(db/000001.log)")
+        assert faults.matches("cloud.get(k)")
