@@ -1,0 +1,64 @@
+"""E20 (extension) — read-path anatomy: tier-attributed cold-miss latency.
+
+Expected shape: with pinned metadata (footer + index + filter on the local
+device) a cold point miss against a cloud-resident table costs ≈1 cloud
+round trip — only the data block's ranged GET — while the no-pinning
+ablation pays the table open (HEAD + footer + index + filter) from the
+cloud first, ≥3 extra round trips. The ``conserved`` column proves the
+tracer's attribution accounts for every simulated second (local + cloud +
+cpu == elapsed on every span), and the whole run is deterministic.
+
+Writes ``BENCH_e20.json`` (per-config tier breakdown) so CI archives a
+machine-readable artifact alongside the table.
+"""
+
+import json
+import pathlib
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import e20_read_anatomy
+
+ARTIFACT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_e20.json"
+
+
+def test_e20_read_anatomy(benchmark):
+    table = run_experiment(benchmark, e20_read_anatomy)
+    idx = table.headers.index
+    assert [row[idx("config")] for row in table.rows] == [
+        "rocksmash",
+        "rocksmash-nopin",
+        "rocksdb-cloud",
+        "cloud-only",
+    ]
+
+    # Conservation held on every span of every configuration.
+    assert all(row[idx("conserved")] == "yes" for row in table.rows)
+
+    pinned = table.row_by("config", "rocksmash")
+    nopin = table.row_by("config", "rocksmash-nopin")
+
+    # The headline: pinned metadata ≈ one cloud RTT per cold miss; the
+    # no-pinning ablation pays the cloud-side table open too.
+    assert pinned[idx("cloud_rtts")] <= 1.5
+    assert nopin[idx("cloud_rtts")] >= 3.0
+    assert nopin[idx("cloud_ms")] > pinned[idx("cloud_ms")] * 2
+
+    # Both rocksmash variants actually touched the cloud.
+    assert pinned[idx("cloud_reads")] > 0
+    assert nopin[idx("cloud_reads")] > 0
+
+    # Attribution is meaningful: pinned-metadata misses spend real local
+    # time (pcache reads) and the cloud dominates the total everywhere.
+    assert pinned[idx("local_ms")] > 0
+    for row in table.rows:
+        if row[idx("cloud_reads")] > 0:
+            assert row[idx("cloud_ms")] > row[idx("local_ms")]
+
+    # Determinism: a second run reproduces the table exactly.
+    again = e20_read_anatomy()
+    assert again.rows == table.rows
+
+    payload = table.to_dict()
+    payload["experiment"] = "e20_read_anatomy"
+    payload["unit"] = "milliseconds of simulated time per cold get"
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")

@@ -2,7 +2,7 @@
 
 Usage::
 
-    python -m repro.bench list          # show available experiments
+    python -m repro.bench --list        # show available experiments
     python -m repro.bench e3            # run E3 (YCSB) and print its table
     python -m repro.bench e6a e6b       # run several
     python -m repro.bench all           # run everything (a few minutes)
@@ -17,7 +17,7 @@ from repro.bench.experiments import ALL_EXPERIMENTS
 
 
 def main(argv: list[str]) -> int:
-    if not argv or argv[0] in ("-h", "--help", "list"):
+    if not argv or argv[0] in ("-h", "--help", "list", "--list"):
         print(__doc__)
         print("experiments:")
         for name, fn in ALL_EXPERIMENTS.items():

@@ -1,6 +1,7 @@
-"""Experiment definitions E1–E18: the reconstructed evaluation (E1–E12)
-plus extensions (E13–E18: compression, batched reads, fault injection,
-up-tiering, compaction style, and the parallel compaction pipeline).
+"""Experiment definitions E1–E20: the reconstructed evaluation (E1–E12)
+plus extensions (E13–E20: compression, batched reads, fault injection,
+up-tiering, compaction style, the parallel compaction pipeline,
+reliability, and the tier-attributed read-path anatomy).
 
 Each function regenerates one table/figure (see DESIGN.md §3) and returns a
 :class:`~repro.bench.report.Table` whose rows are the series the paper
@@ -13,6 +14,8 @@ function takes ``records``/``operations`` so a longer run can scale up.
 """
 
 from __future__ import annotations
+
+from dataclasses import replace
 
 from repro.bench.harness import SYSTEMS, HarnessKnobs, make_store
 from repro.bench.report import Table
@@ -949,6 +952,84 @@ def e19b_write_fault_storm(
     return table
 
 
+# --------------------------------------------------------------------------
+# E20 — read-path anatomy (tier-attributed latency breakdown)
+# --------------------------------------------------------------------------
+
+
+def e20_read_anatomy(records: int = 1800, reads: int = 90) -> Table:
+    """Table E20: where a cold point-miss spends its time, per tier.
+
+    Every probe evicts the open-table cache first (and the DRAM block cache
+    is disabled), so each get pays the full cold read path: table open
+    (footer/index/filter) plus the data block. The tracer's per-span tier
+    attribution splits that latency into local, cloud, and CPU seconds and
+    counts the cloud round trips.
+
+    The paper's claim, made visible: with pinned metadata (footer + index +
+    filter on the local device) a cold miss against a cloud-resident table
+    costs ≈1 cloud round trip — just the data block's ranged GET — while
+    without pinning the open alone needs HEAD + footer + index (+ filter)
+    from the cloud first, ≥3 extra round trips. The ``conserved`` column
+    checks local+cloud+cpu == elapsed on every span.
+    """
+    from repro.bench.harness import _disable_metadata_pinning  # noqa: F401 (doc)
+    from repro.obs.trace import span_conserved
+
+    table = Table(
+        "E20: cold point-miss anatomy (per-get means over probes)",
+        [
+            "config",
+            "local_ms",
+            "cloud_ms",
+            "cpu_ms",
+            "total_ms",
+            "cloud_rtts",
+            "cloud_reads",
+            "conserved",
+        ],
+        notes=[
+            f"{records} records, {reads} cold probes; table cache cleared per probe,",
+            "DRAM block cache + readahead off; cloud_rtts = mean GETs/HEADs among",
+            "probes that touched the cloud; conserved: local+cloud+cpu == elapsed",
+        ],
+    )
+    base = HarnessKnobs(block_cache_bytes=0, scan_readahead_bytes=0)
+    configs = [
+        ("rocksmash", "rocksmash", base),
+        ("rocksmash-nopin", "rocksmash", replace(base, pin_metadata=False)),
+        ("rocksdb-cloud", "rocksdb-cloud", base),
+        ("cloud-only", "cloud-only", base),
+    ]
+    stride = max(1, records // reads)
+    for label, system, knobs in configs:
+        store = make_store(system, knobs)
+        dbbench.fill_database(store, records)
+        t0 = store.clock.now
+        for i in range(reads):
+            store.db.table_cache.clear()
+            store.get(make_key(i * stride))
+        spans = [
+            s for s in store.tracer.spans if s.op == "get" and s.start >= t0
+        ]
+        touched = [s for s in spans if s.cloud_ops > 0]
+        n = max(1, len(spans))
+        rtts = (
+            sum(s.cloud_ops for s in touched) / len(touched) if touched else 0.0
+        )
+        table.add_row(
+            label,
+            sum(s.tiers.local for s in spans) / n * 1e3,
+            sum(s.tiers.cloud for s in spans) / n * 1e3,
+            sum(s.tiers.cpu for s in spans) / n * 1e3,
+            sum(s.elapsed for s in spans) / n * 1e3,
+            rtts,
+            len(touched),
+            "yes" if all(span_conserved(s) for s in spans) else "no",
+        )
+    return table
+
+
 ALL_EXPERIMENTS = {
     "e1": e1_write_micro,
     "e2": e2_read_micro,
@@ -971,4 +1052,5 @@ ALL_EXPERIMENTS = {
     "e18": e18_parallel_compaction,
     "e19a": e19a_crash_recovery_shards,
     "e19b": e19b_write_fault_storm,
+    "e20": e20_read_anatomy,
 }

@@ -52,6 +52,15 @@ class Table:
         print()
         print(self.render())
 
+    def to_dict(self) -> dict:
+        """JSON-friendly form (committed benchmark artifacts)."""
+        return {
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
     def column(self, header: str) -> list:
         """Extract one column by header name (for assertions in benches)."""
         idx = self.headers.index(header)

@@ -4,6 +4,11 @@ The benchmark harness compares four systems (RocksMash and three baselines).
 All of them present this facade — timed KV operations against the simulated
 clock, tier occupancy, and a cost report — so experiments treat them
 interchangeably.
+
+Every timed operation is also recorded as a :class:`~repro.obs.trace.TraceSpan`
+on the facade's :class:`~repro.obs.trace.Tracer`; the storage devices charge
+their simulated-clock costs to the tracer, so each span carries a tier
+breakdown (local/cloud/cpu seconds) that sums to its wall-clock elapsed time.
 """
 
 from __future__ import annotations
@@ -12,6 +17,8 @@ from repro.lsm.db import DB, Snapshot
 from repro.lsm.write_batch import WriteBatch
 from repro.metrics.counters import CounterSet
 from repro.metrics.latency import LatencyHistogram
+from repro.obs.prom import render_prometheus
+from repro.obs.trace import Tracer
 from repro.sim.clock import SimClock, StopwatchRegion
 from repro.storage.cloud import CloudObjectStore
 from repro.storage.cost import CostModel, MonthlyBill
@@ -23,7 +30,9 @@ class StoreFacade:
 
     Subclasses must set (typically in ``__init__``): ``db``, ``clock``,
     ``counters``, ``local_device``, ``cloud_store`` (may be None),
-    ``cost_model``, and a class-level ``name``.
+    ``cost_model``, and a class-level ``name``. ``_init_facade`` must be
+    called after ``clock``/``local_device``/``cloud_store`` exist so the
+    tracer can be wired onto the devices.
     """
 
     name = "store"
@@ -34,29 +43,33 @@ class StoreFacade:
     cloud_store: CloudObjectStore | None
     cost_model: CostModel
 
-    def _init_facade(self) -> None:
+    def _init_facade(self, *, trace_capacity: int = 2048) -> None:
         self.read_latency = LatencyHistogram()
         self.write_latency = LatencyHistogram()
+        self.tracer = Tracer(self.clock, capacity=trace_capacity)
+        for dev in (self.local_device, getattr(self, "cloud_store", None)):
+            if dev is not None and hasattr(dev, "tracer"):
+                dev.tracer = self.tracer
 
     # -- KV API -----------------------------------------------------------
 
     def put(self, key: bytes, value: bytes, *, sync: bool = True) -> None:
-        with StopwatchRegion(self.clock) as sw:
+        with StopwatchRegion(self.clock) as sw, self.tracer.span("put"):
             self.db.put(key, value, sync=sync)
         self.write_latency.record(sw.elapsed)
 
     def delete(self, key: bytes, *, sync: bool = True) -> None:
-        with StopwatchRegion(self.clock) as sw:
+        with StopwatchRegion(self.clock) as sw, self.tracer.span("delete"):
             self.db.delete(key, sync=sync)
         self.write_latency.record(sw.elapsed)
 
     def write(self, batch: WriteBatch, *, sync: bool = True) -> None:
-        with StopwatchRegion(self.clock) as sw:
+        with StopwatchRegion(self.clock) as sw, self.tracer.span("write"):
             self.db.write(batch, sync=sync)
         self.write_latency.record(sw.elapsed)
 
     def get(self, key: bytes, *, snapshot: Snapshot | None = None) -> bytes | None:
-        with StopwatchRegion(self.clock) as sw:
+        with StopwatchRegion(self.clock) as sw, self.tracer.span("get"):
             value = self.db.get(key, snapshot=snapshot)
         self.read_latency.record(sw.elapsed)
         return value
@@ -65,7 +78,7 @@ class StoreFacade:
         self, keys: list[bytes], *, snapshot: Snapshot | None = None
     ) -> dict[bytes, bytes | None]:
         """Batched point lookups (sequential by default)."""
-        with StopwatchRegion(self.clock) as sw:
+        with StopwatchRegion(self.clock) as sw, self.tracer.span("multi_get"):
             results = self.db.multi_get(keys, snapshot=snapshot)
         self.read_latency.record(sw.elapsed)
         return results
@@ -76,7 +89,7 @@ class StoreFacade:
         end: bytes | None = None,
         limit: int | None = None,
     ) -> list[tuple[bytes, bytes]]:
-        with StopwatchRegion(self.clock) as sw:
+        with StopwatchRegion(self.clock) as sw, self.tracer.span("scan"):
             results = []
             for i, kv in enumerate(self.db.scan(begin, end)):
                 if limit is not None and i >= limit:
@@ -92,7 +105,7 @@ class StoreFacade:
         limit: int | None = None,
     ) -> list[tuple[bytes, bytes]]:
         """Descending-order range scan over user keys in [begin, end)."""
-        with StopwatchRegion(self.clock) as sw:
+        with StopwatchRegion(self.clock) as sw, self.tracer.span("scan_reverse"):
             results = []
             for i, kv in enumerate(self.db.scan_reverse(begin, end)):
                 if limit is not None and i >= limit:
@@ -102,10 +115,13 @@ class StoreFacade:
         return results
 
     def flush(self) -> None:
-        self.db.flush()
+        with self.tracer.span("flush"):
+            self.db.flush()
+        self.tracer.event("flush")
 
     def compact_range(self, begin: bytes | None = None, end: bytes | None = None) -> None:
-        self.db.compact_range(begin, end)
+        with self.tracer.span("compact_range"):
+            self.db.compact_range(begin, end)
 
     def snapshot(self) -> Snapshot:
         return self.db.snapshot()
@@ -133,4 +149,15 @@ class StoreFacade:
             get_ops=self.counters.get("cloud.get_ops"),
             egress_bytes=self.counters.get("cloud.get_bytes"),
             window_seconds=window_seconds,
+        )
+
+    def dump_metrics(self) -> str:
+        """All store metrics in Prometheus text exposition format."""
+        return render_prometheus(
+            counters=self.counters,
+            histograms={
+                "read_latency_seconds": self.read_latency,
+                "write_latency_seconds": self.write_latency,
+            },
+            tracer=getattr(self, "tracer", None),
         )

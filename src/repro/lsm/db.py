@@ -91,6 +91,7 @@ class DB:
         options: Options | None = None,
         *,
         loader_wrapper=None,
+        footer_source=None,
     ) -> None:
         """Use :meth:`DB.open` instead of constructing directly."""
         self.env = env
@@ -103,8 +104,15 @@ class DB:
             else None
         )
         self._user_loader_wrapper = loader_wrapper
+        self.block_fetch_hook = None
+        """Optional callable ``(path, file_name)`` observing block-read
+        outcomes (e.g. ``("dram_hit", name)``); set by the store facade."""
         self.table_cache = TableCache(
-            env, prefix, self.options, loader_wrapper=self._compose_loader_wrapper()
+            env,
+            prefix,
+            self.options,
+            loader_wrapper=self._compose_loader_wrapper(),
+            footer_source=footer_source,
         )
         self.versions = VersionSet(env, prefix, self.options)
         self.memtable = MemTable()
@@ -149,6 +157,8 @@ class DB:
             if payload is None:
                 payload = next_loader(file_name, handle, kind)
                 cache.put(file_name, handle.offset, payload)
+            elif self.block_fetch_hook is not None:
+                self.block_fetch_hook("dram_hit", file_name)
             return payload
 
         return load
@@ -757,6 +767,7 @@ class DB:
         * ``block-cache-hit-ratio`` — DRAM cache hit ratio (float)
         * ``compaction-stats`` — human-readable summary (str)
         * ``levels`` — human-readable per-level table (str)
+        * ``stats`` — combined dump: levels + compaction + misc (str)
 
         Raises :class:`InvalidArgumentError` for unknown names.
         """
@@ -799,6 +810,20 @@ class DB:
             lines = ["level  files  bytes"]
             for level, files, size in self.level_summary():
                 lines.append(f"L{level:<5} {files:<6} {size}")
+            return "\n".join(lines)
+        if key == "stats":
+            lines = [
+                "** DB Stats **",
+                self.get_property("repro.levels"),
+                self.get_property("repro.compaction-stats"),
+                f"memtable_entries={len(self.memtable)}"
+                f" memtable_bytes={self.memtable.approximate_memory_usage()}",
+                f"last_sequence={self.versions.last_sequence}"
+                f" manifest_bytes={self.versions.manifest_bytes()}"
+                f" snapshots={len(self._snapshots)}",
+                f"block_cache_hit_ratio="
+                f"{self.block_cache.hit_ratio if self.block_cache else 0.0:.4f}",
+            ]
             return "\n".join(lines)
         raise InvalidArgumentError(f"unknown property {name!r}")
 

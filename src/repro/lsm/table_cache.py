@@ -29,11 +29,13 @@ class TableCache:
         options: Options,
         *,
         loader_wrapper: LoaderWrapper | None = None,
+        footer_source: Callable[[str], bytes | None] | None = None,
     ) -> None:
         self.env = env
         self.prefix = prefix
         self.options = options
         self.loader_wrapper = loader_wrapper
+        self.footer_source = footer_source
         self._readers: dict[int, TableReader] = {}
 
     def get_reader(self, number: int) -> TableReader:
@@ -44,7 +46,12 @@ class TableCache:
             loader = direct_block_loader(file, verify=self.options.paranoid_checks)
             if self.loader_wrapper is not None:
                 loader = self.loader_wrapper(name, file, loader)
-            reader = TableReader(self.options, file, block_loader=loader)
+            footer_bytes = (
+                self.footer_source(name) if self.footer_source is not None else None
+            )
+            reader = TableReader(
+                self.options, file, block_loader=loader, footer_bytes=footer_bytes
+            )
             self._readers[number] = reader
         return reader
 

@@ -60,6 +60,7 @@ class TableReader:
         file: RandomAccessFile,
         *,
         block_loader: BlockLoader | None = None,
+        footer_bytes: bytes | None = None,
     ) -> None:
         self.options = options
         self.file = file
@@ -67,10 +68,19 @@ class TableReader:
         self._loader = block_loader or direct_block_loader(
             file, verify=options.paranoid_checks
         )
-        size = file.size()
-        if size < FOOTER_SIZE:
-            raise CorruptionError(f"table {self.name} smaller than footer")
-        footer = Footer.decode(file.read(size - FOOTER_SIZE, FOOTER_SIZE))
+        if footer_bytes is not None:
+            # Pinned footer (e.g. from the persistent cache): skips both the
+            # size probe and the footer read against the backing file.
+            if len(footer_bytes) != FOOTER_SIZE:
+                raise CorruptionError(
+                    f"pinned footer for {self.name} has wrong size"
+                )
+            footer = Footer.decode(footer_bytes)
+        else:
+            size = file.size()
+            if size < FOOTER_SIZE:
+                raise CorruptionError(f"table {self.name} smaller than footer")
+            footer = Footer.decode(file.read(size - FOOTER_SIZE, FOOTER_SIZE))
         self.footer = footer
         self._index = Block(
             self._loader(self.name, footer.index_handle, "index"), compare_internal

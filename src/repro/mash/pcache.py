@@ -31,9 +31,13 @@ from repro.storage.local import LocalDevice
 from repro.util.crc import masked_crc32, verify_masked_crc32
 from repro.util.varint import decode_varint, encode_varint
 
-_KIND_META = 0x4D  # 'M' — pinned metadata block (index/filter)
+_KIND_META = 0x4D  # 'M' — pinned metadata block (index/filter/footer)
 _KIND_DATA = 0x44  # 'D' — evictable data block
 _KIND_TOMB = 0x54  # 'T' — whole-file tombstone
+
+# Metadata records reuse the block_offset field as a kind disambiguator.
+_META_OFFSETS = {"index": 0, "filter": 1, "footer": 2}
+_META_KINDS = {offset: kind for kind, offset in _META_OFFSETS.items()}
 
 
 @dataclass(frozen=True)
@@ -160,7 +164,7 @@ class PersistentCache:
                 self._forget_file(name)
             elif kind == _KIND_META:
                 dropped.discard(name)
-                kind_str = "index" if block_offset == 0 else "filter"
+                kind_str = _META_KINDS.get(block_offset, "index")
                 self._index_meta(name, kind_str, _Entry(payload_start, payload_len))
             elif kind == _KIND_DATA:
                 dropped.discard(name)
@@ -191,22 +195,29 @@ class PersistentCache:
         return entry
 
     def sync(self) -> None:
-        """Flush pending slab appends to durable storage."""
+        """Flush pending slab appends to durable storage.
+
+        Ghost admission counters are deliberately untouched: they are
+        in-memory policy state with no durability relationship, and wiping
+        them here would silently defeat ``admit_after_accesses > 1`` under
+        steady traffic (a block re-offered after any intervening sync would
+        start its count from zero again, forever).
+        """
         if self._pending_appends:
             self.device.sync(self._slab_name)
             self._pending_appends = 0
-        self._ghost: dict[tuple[str, int], int] = {}
 
     # -- metadata region -------------------------------------------------------------
 
     def put_meta(self, file_name: str, kind: str, payload: bytes) -> None:
-        """Pin an index ("index") or filter ("filter") block payload."""
-        if kind not in ("index", "filter"):
+        """Pin an "index", "filter", or "footer" payload for a table."""
+        if kind not in _META_OFFSETS:
             raise ValueError(f"unknown metadata kind {kind!r}")
         if (file_name, kind) in self._meta:
             return
-        block_offset = 0 if kind == "index" else 1  # kind disambiguator
-        entry = self._append_record(_KIND_META, file_name, block_offset, payload)
+        entry = self._append_record(
+            _KIND_META, file_name, _META_OFFSETS[kind], payload
+        )
         self._index_meta(file_name, kind, entry)
         self.stats.admissions += 1
 
@@ -350,9 +361,8 @@ class PersistentCache:
         self._meta_bytes = 0
         meta_index: dict[tuple[str, str], _Entry] = {}
         for (file_name, kind), payload in live_meta.items():
-            block_offset = 0 if kind == "index" else 1
             meta_index[(file_name, kind)] = self._append_record(
-                _KIND_META, file_name, block_offset, payload
+                _KIND_META, file_name, _META_OFFSETS[kind], payload
             )
         data_index: OrderedDict[tuple[str, int], _Entry] = OrderedDict()
         for (file_name, block_offset), payload in live_data.items():

@@ -40,7 +40,6 @@ from repro.mash.placement import PlacementConfig, PlacementManager, make_router
 from repro.mash.readahead import ReadaheadBuffer
 from repro.mash.xwal import XWalConfig, XWalReplayer, XWalWriter
 from repro.metrics.counters import CounterSet
-from repro.metrics.latency import LatencyHistogram
 from repro.sim.clock import ForkJoinRegion, SimClock, StopwatchRegion
 from repro.sim.latency import LatencyModel, cloud_object_storage, nvme_ssd
 from repro.storage.cloud import CloudObjectStore
@@ -155,19 +154,20 @@ class RocksMashStore(StoreFacade):
         )
         self.pcache = PersistentCache.open(local_device, config.pcache)
         self.heat = BlockHeatTracker(config.layout)
-        self.read_latency = LatencyHistogram()
-        self.write_latency = LatencyHistogram()
+        self._init_facade()
 
-        with StopwatchRegion(clock) as sw:
+        with StopwatchRegion(clock) as sw, self.tracer.span("recovery"):
             self.db = MashDB.open(
                 self.env,
                 config.db_prefix,
                 config.options,
                 loader_wrapper=self._pcache_loader_wrapper,
+                footer_source=self._footer_source,
                 xwal_config=config.xwal,
                 local_device=local_device,
             )
         self.last_recovery_seconds = sw.elapsed
+        self.db.block_fetch_hook = self._on_block_fetch
 
         # Event order matters: the heat tracker must see compaction outputs
         # (and pre-warm from their still-local files) before placement
@@ -184,15 +184,19 @@ class RocksMashStore(StoreFacade):
         def demote_with_pin(number: int) -> None:
             self._pin_metadata(table_file_name(config.db_prefix, number))
             original_demote(number)
+            self.tracer.event("demotion")
 
         self.placement._demote = demote_with_pin
 
         if config.placement.promotion_enabled:
             # Re-evaluate up-tiering whenever the file topology changes;
             # heat accumulated since the last change drives the decision.
-            self.db.listeners.on_version_change.append(
-                lambda: self.placement.maybe_promote(self.heat.file_heat)
-            )
+            def _maybe_promote() -> None:
+                promoted = self.placement.maybe_promote(self.heat.file_heat)
+                for _ in range(promoted or 0):
+                    self.tracer.event("promotion")
+
+            self.db.listeners.on_version_change.append(_maybe_promote)
 
     # -- construction -----------------------------------------------------
 
@@ -326,7 +330,7 @@ class RocksMashStore(StoreFacade):
         if width == 1 or len(keys) <= 1:
             return super().multi_get(keys, snapshot=snapshot)
         results: dict[bytes, bytes | None] = {}
-        with StopwatchRegion(self.clock) as sw:
+        with StopwatchRegion(self.clock) as sw, self.tracer.span("multi_get"):
             for start in range(0, len(keys), width):
                 wave = keys[start : start + width]
                 region = ForkJoinRegion(
@@ -354,27 +358,52 @@ class RocksMashStore(StoreFacade):
             if kind in ("index", "filter"):
                 cached = self.pcache.get_meta(file_name, kind)
                 if cached is not None:
+                    self.tracer.event("pcache_meta_hit")
                     return cached
                 payload = next_loader(file_name, handle, kind)
                 if self._is_cloud_file(file_name):
+                    self.tracer.event("cloud_get")
                     self.pcache.put_meta(file_name, kind, payload)
+                else:
+                    self.tracer.event("local_read")
                 return payload
             # data block
             self.heat.record_access(file_name, handle.offset)
             cached = self.pcache.get_data(file_name, handle.offset)
             if cached is not None:
+                self.tracer.event("pcache_hit")
                 return cached
             if readahead is not None and self._is_cloud_file(file_name):
                 payload = readahead.get(handle)
                 if payload is not None:
                     # Scan-resistant: readahead blocks skip pcache admission.
+                    self.tracer.event("readahead_hit")
                     return payload
             payload = next_loader(file_name, handle, kind)
             if self._is_cloud_file(file_name):
+                self.tracer.event("cloud_get")
                 self.pcache.put_data(file_name, handle.offset, payload)
+            else:
+                self.tracer.event("local_read")
             return payload
 
         return load
+
+    def _on_block_fetch(self, path: str, file_name: str) -> None:
+        """DB-level block-read outcomes (currently only DRAM hits, which
+        never reach the persistent-cache wrapper)."""
+        self.tracer.event(path)
+
+    def _footer_source(self, file_name: str) -> bytes | None:
+        """Pinned raw footer for a table, if present in the persistent cache.
+
+        Lets a cold table open skip the footer read entirely — for a
+        cloud-resident table that is one fewer round trip.
+        """
+        cached = self.pcache.get_meta(file_name, "footer")
+        if cached is not None:
+            self.tracer.event("pcache_footer_hit")
+        return cached
 
     def _is_cloud_file(self, file_name: str) -> bool:
         try:
@@ -387,8 +416,10 @@ class RocksMashStore(StoreFacade):
     def _on_flush(self, event: FlushEvent) -> None:
         name = table_file_name(self.config.db_prefix, event.meta.number)
         self.heat.register_file(name, event.properties.blocks)
+        self.tracer.event("memtable_flush")
 
     def _on_compaction(self, event: CompactionEvent) -> None:
+        self.tracer.event("compaction")
         if event.trivial_move:
             return
         name_of = lambda number: table_file_name(self.config.db_prefix, number)
@@ -418,19 +449,24 @@ class RocksMashStore(StoreFacade):
         return unseal_block(raw, verify=False)
 
     def _pin_metadata(self, file_name: str) -> None:
-        """Pin a table's index + filter blocks from its (local) copy."""
+        """Pin a table's footer + index + filter blocks from its (local) copy."""
         if not self.env.file_exists(file_name):
             return
         if (
             self.pcache.get_meta(file_name, "index") is not None
             and self.pcache.get_meta(file_name, "filter") is not None
+            and self.pcache.get_meta(file_name, "footer") is not None
         ):
             return
         from repro.lsm.format import FOOTER_SIZE, Footer
 
         file = self.env.new_random_access_file(file_name)
         size = file.size()
-        footer = Footer.decode(file.read(size - FOOTER_SIZE, FOOTER_SIZE))
+        footer_raw = file.read(size - FOOTER_SIZE, FOOTER_SIZE)
+        footer = Footer.decode(footer_raw)
+        # The raw footer is pinned verbatim so a cold open can skip the
+        # footer round trip against the cloud copy entirely.
+        self.pcache.put_meta(file_name, "footer", footer_raw)
         for kind, handle in (("index", footer.index_handle), ("filter", footer.filter_handle)):
             if handle.size == 0:
                 continue

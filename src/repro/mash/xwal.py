@@ -217,7 +217,11 @@ class XWalReplayer:
                     shard_ops.extend(decode_shard_record(record))
                 if reader.tail_corrupt:
                     self.corrupt_shards += 1
-                child.advance(self.config.apply_cost_per_record * len(shard_ops))
+                apply_cost = self.config.apply_cost_per_record * len(shard_ops)
+                child.advance(apply_cost)
+                tracer = getattr(self.device, "tracer", None)
+                if tracer is not None:
+                    tracer.charge("cpu", apply_cost)
                 collected.append(shard_ops)
         region.join()
         for shard_ops in collected:

@@ -72,12 +72,16 @@ class LatencyHistogram:
         """Value at percentile ``p`` in [0, 100]; 0.0 when empty.
 
         Returns the upper edge of the bucket containing the p-th sample,
-        clamped to the true observed max.
+        clamped to the true observed max; ``p == 0`` returns the exact
+        observed minimum (a zero threshold would otherwise be satisfied by
+        the first — possibly empty — bucket's edge).
         """
         if not 0.0 <= p <= 100.0:
             raise ValueError(f"percentile {p} outside [0, 100]")
         if self.count == 0:
             return 0.0
+        if p == 0:
+            return self.min_seen
         threshold = self.count * p / 100.0
         cumulative = 0
         for idx, bucket_count in enumerate(self._counts):

@@ -128,6 +128,15 @@ class ForkJoinRegion:
         self.parent = parent
         self.hosts = hosts
         self.children: list[SimClock] = []
+        # Tier-attribution tracers ride along with their devices: any host
+        # carrying a ``tracer`` joins branch scopes too, so charges made
+        # inside a branch collect per-branch and fold back at join with
+        # critical-path attribution (see repro.obs.trace).
+        self._tracers: list = []
+        for host in hosts:
+            tracer = getattr(host, "tracer", None)
+            if tracer is not None and all(tracer is not t for t in self._tracers):
+                self._tracers.append(tracer)
 
     @contextmanager
     def branch(self, start: float | None = None):
@@ -138,6 +147,8 @@ class ForkJoinRegion:
         with ExitStack() as stack:
             for host in self.hosts:
                 stack.enter_context(host.clock_scope(child))
+            for tracer in self._tracers:
+                stack.enter_context(tracer.clock_scope(child))
             yield child
 
     def join(self, *, strict: bool = True) -> float:
@@ -146,9 +157,14 @@ class ForkJoinRegion:
         ``strict=False`` uses :meth:`SimClock.merge` semantics for regions
         with back-dated branches (overlapped work may finish "in the past").
         """
+        before = self.parent.now
         if strict:
-            return self.parent.join(self.children)
-        return self.parent.merge(self.children)
+            result = self.parent.join(self.children)
+        else:
+            result = self.parent.merge(self.children)
+        for tracer in self._tracers:
+            tracer.absorb_join(self.children, self.parent.now - before)
+        return result
 
 
 class StopwatchRegion:

@@ -39,6 +39,7 @@ class CloudObjectStore(ClockCharged):
         self.counters = counters if counters is not None else CounterSet()
         self.faults = faults
         self.retry = retry or RetryPolicy()
+        self.tracer = None  # set by the store facade for tier attribution
         self._objects: dict[str, bytes] = {}
         # In-flight multipart uploads: key -> parts received so far. Parts
         # are durable server-side but invisible until complete_multipart;
@@ -53,8 +54,12 @@ class CloudObjectStore(ClockCharged):
         Retries up to ``retry.max_attempts`` times; each failed attempt
         charges its cost (the bytes were in flight) plus backoff.
         """
+        if self.tracer is not None:
+            self.tracer.count_cloud_op()
         for attempt in range(self.retry.max_attempts):
             self.clock.advance(cost)
+            if self.tracer is not None:
+                self.tracer.charge("cloud", cost)
             if self.faults is None:
                 return
             try:
@@ -64,7 +69,10 @@ class CloudObjectStore(ClockCharged):
                 self.counters.inc("cloud.retries")
                 if attempt == self.retry.max_attempts - 1:
                     raise
-                self.clock.advance(self.retry.backoff(attempt))
+                backoff = self.retry.backoff(attempt)
+                self.clock.advance(backoff)
+                if self.tracer is not None:
+                    self.tracer.charge("cloud", backoff)
 
     # -- object API ---------------------------------------------------------
 

@@ -150,7 +150,10 @@ class DirectoryBackedDevice(LocalDevice):
         if name not in self._sizes and name not in self._pending:
             raise NotFoundError(f"local file not found: {name}")
         pending = self._pending.pop(name, bytearray())
-        self.clock.advance(self.model.write_cost(len(pending)))
+        cost = self.model.write_cost(len(pending))
+        self.clock.advance(cost)
+        if self.tracer is not None:
+            self.tracer.charge("local", cost)
         self.counters.inc("local.sync_ops")
         self.counters.inc("local.write_bytes", len(pending))
         path = self._path(name)
@@ -167,7 +170,10 @@ class DirectoryBackedDevice(LocalDevice):
         self._never_synced.discard(name)
         path = self._path(name)
         path.parent.mkdir(parents=True, exist_ok=True)
-        self.clock.advance(self.model.write_cost(len(data)))
+        cost = self.model.write_cost(len(data))
+        self.clock.advance(cost)
+        if self.tracer is not None:
+            self.tracer.charge("local", cost)
         self.counters.inc("local.sync_ops")
         self.counters.inc("local.write_bytes", len(data))
         tmp = path.with_suffix(path.suffix + ".tmp")
@@ -192,7 +198,10 @@ class DirectoryBackedDevice(LocalDevice):
         data = durable + bytes(self._pending.get(name, b""))
         end = len(data) if length is None else min(len(data), offset + length)
         chunk = data[offset:end]
-        self.clock.advance(self.model.read_cost(len(chunk)))
+        cost = self.model.read_cost(len(chunk))
+        self.clock.advance(cost)
+        if self.tracer is not None:
+            self.tracer.charge("local", cost)
         self.counters.inc("local.read_ops")
         self.counters.inc("local.read_bytes", len(chunk))
         return chunk

@@ -236,12 +236,20 @@ class _CloudRandomAccessFile(RandomAccessFile):
     def __init__(self, store: CloudObjectStore, name: str) -> None:
         super().__init__(name)
         self._store = store
-        self._size = store.head(name)  # one HEAD at open, then cached
+        if not store.exists(name):
+            raise NotFoundError(f"cloud object not found: {name}")
+        # HEAD is deferred until the size is actually needed: ranged GETs do
+        # not require it, and real deployments know SST sizes from the
+        # manifest — a reader whose footer is served from the pinned
+        # metadata cache never pays this round trip.
+        self._size: int | None = None
 
     def read(self, offset: int, length: int) -> bytes:
         return self._store.get_range(self.name, offset, length)
 
     def size(self) -> int:
+        if self._size is None:
+            self._size = self._store.head(self.name)  # one HEAD, then cached
         return self._size
 
 

@@ -67,6 +67,7 @@ class LocalDevice(ClockCharged):
         self.capacity_bytes = capacity_bytes
         self.counters = counters if counters is not None else CounterSet()
         self.faults = faults
+        self.tracer = None  # set by the store facade for tier attribution
         self._files: dict[str, _FileState] = {}
 
     # -- write path -------------------------------------------------------
@@ -93,7 +94,10 @@ class LocalDevice(ClockCharged):
             self.faults.check(f"local.sync({name})")
         state = self._require(name)
         nbytes = len(state.pending)
-        self.clock.advance(self.model.write_cost(nbytes))
+        cost = self.model.write_cost(nbytes)
+        self.clock.advance(cost)
+        if self.tracer is not None:
+            self.tracer.charge("local", cost)
         self.counters.inc("local.sync_ops")
         self.counters.inc("local.write_bytes", nbytes)
         state.durable += state.pending
@@ -116,7 +120,10 @@ class LocalDevice(ClockCharged):
         data = state.view()
         end = len(data) if length is None else min(len(data), offset + length)
         chunk = data[offset:end]
-        self.clock.advance(self.model.read_cost(len(chunk)))
+        cost = self.model.read_cost(len(chunk))
+        self.clock.advance(cost)
+        if self.tracer is not None:
+            self.tracer.charge("local", cost)
         self.counters.inc("local.read_ops")
         self.counters.inc("local.read_bytes", len(chunk))
         return chunk

@@ -1,0 +1,57 @@
+"""Property test: tier attribution conserves elapsed time on every span.
+
+For any sequence of store operations, each recorded span's tier vector
+(local + cloud + cpu seconds) must sum to its stopwatch elapsed time —
+including operations whose I/O runs through fork/join regions (multi_get
+waves, xWAL shard syncs, parallel subcompactions, demotion batches).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mash.store import RocksMashStore, StoreConfig
+from repro.obs.trace import span_conserved
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.integers(0, 40), st.binary(min_size=1, max_size=200)),
+        st.tuples(st.just("get"), st.integers(0, 40), st.just(b"")),
+        st.tuples(st.just("delete"), st.integers(0, 40), st.just(b"")),
+        st.tuples(st.just("scan"), st.integers(0, 40), st.just(b"")),
+        st.tuples(st.just("multi_get"), st.integers(0, 40), st.just(b"")),
+        st.tuples(st.just("flush"), st.just(0), st.just(b"")),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def key_of(i: int) -> bytes:
+    return b"key%04d" % i
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=ops)
+def test_all_spans_conserved(ops):
+    store = RocksMashStore.create(StoreConfig().small())
+    for op, i, value in ops:
+        if op == "put":
+            store.put(key_of(i), value)
+        elif op == "get":
+            store.get(key_of(i))
+        elif op == "delete":
+            store.delete(key_of(i))
+        elif op == "scan":
+            store.scan(key_of(i), key_of(i + 10))
+        elif op == "multi_get":
+            store.multi_get([key_of(i + j) for j in range(6)])
+        elif op == "flush":
+            store.flush()
+    assert len(store.tracer.spans) >= len(ops)
+    for span in store.tracer.spans:
+        assert span_conserved(span), (
+            f"span {span.op} leaks time: tiers={span.tiers.as_dict()}"
+            f" elapsed={span.elapsed}"
+        )
+    # Device-busy totals never exceed what was charged somewhere.
+    totals = store.tracer.totals
+    assert totals.local >= 0 and totals.cloud >= 0 and totals.cpu >= 0

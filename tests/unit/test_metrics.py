@@ -106,3 +106,28 @@ class TestLatencyHistogram:
         h.record(50.0)
         assert h.count == 2
         assert h.percentile(100) <= 50.0
+
+    def test_percentile_zero_is_observed_min(self):
+        # Regression: p=0 used to return the first bucket's edge (the
+        # zero threshold is satisfied before any sample is counted),
+        # not the minimum actually observed.
+        h = LatencyHistogram()
+        h.record(0.01)
+        h.record(0.5)
+        assert h.percentile(0) == pytest.approx(0.01)
+
+    def test_percentile_zero_empty(self):
+        assert LatencyHistogram().percentile(0) == 0.0
+
+    def test_percentile_hundred_is_observed_max(self):
+        h = LatencyHistogram()
+        h.record(0.01)
+        h.record(0.5)
+        assert h.percentile(100) == pytest.approx(0.5)
+
+    def test_single_sample_all_percentiles_agree(self):
+        h = LatencyHistogram()
+        h.record(0.02)
+        assert h.percentile(0) == pytest.approx(0.02)
+        assert h.percentile(100) == pytest.approx(0.02)
+        assert h.percentile(50) == pytest.approx(0.02, rel=0.1)

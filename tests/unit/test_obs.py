@@ -1,0 +1,302 @@
+"""Unit tests for the tier-attributed tracer and metrics export."""
+
+import pytest
+
+from repro.obs.prom import render_prometheus
+from repro.obs.trace import (
+    TierTimes,
+    Tracer,
+    TraceSpan,
+    span_conserved,
+    summarize_spans,
+)
+from repro.metrics.counters import CounterSet
+from repro.metrics.latency import LatencyHistogram
+from repro.sim.clock import ForkJoinRegion, SimClock
+from repro.storage.cloud import CloudObjectStore
+from repro.storage.local import LocalDevice
+
+
+def charged(tracer, tier, seconds):
+    """Mirror a device charge site: advance + attribute the same seconds."""
+    tracer.clock.advance(seconds)
+    tracer.charge(tier, seconds)
+
+
+class TestTierTimes:
+    def test_add_and_total(self):
+        t = TierTimes()
+        t.add("local", 1.0)
+        t.add("cloud", 2.0)
+        t.add("cpu", 0.5)
+        assert t.total() == pytest.approx(3.5)
+        assert t.as_dict() == {"local": 1.0, "cloud": 2.0, "cpu": 0.5}
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError):
+            TierTimes().add("tape", 1.0)
+
+    def test_merge_scaled(self):
+        a, b = TierTimes(local=1.0), TierTimes(local=2.0, cloud=4.0)
+        a.merge(b, scale=0.5)
+        assert a.local == pytest.approx(2.0)
+        assert a.cloud == pytest.approx(2.0)
+
+
+class TestSpans:
+    def test_simple_span_conserves(self):
+        tracer = Tracer(SimClock())
+        with tracer.span("get") as span:
+            charged(tracer, "local", 0.001)
+            charged(tracer, "cloud", 0.015)
+        assert span.elapsed == pytest.approx(0.016)
+        assert span.tiers.local == pytest.approx(0.001)
+        assert span.tiers.cloud == pytest.approx(0.015)
+        assert span_conserved(span)
+
+    def test_nesting_parent_child_links(self):
+        tracer = Tracer(SimClock())
+        with tracer.span("outer") as outer:
+            charged(tracer, "local", 0.001)
+            with tracer.span("inner") as inner:
+                charged(tracer, "cloud", 0.015)
+        assert inner.parent_id == outer.span_id
+        assert inner.depth == outer.depth + 1
+        assert outer.parent_id == 0
+        # Child time is part of the parent's elapsed time too.
+        assert outer.tiers.total() == pytest.approx(0.016)
+        assert span_conserved(outer)
+        assert span_conserved(inner)
+        # The ring holds inner (closed first) then outer.
+        assert [s.op for s in tracer.spans] == ["inner", "outer"]
+
+    def test_charges_outside_spans_are_unattributed(self):
+        tracer = Tracer(SimClock())
+        charged(tracer, "local", 0.25)
+        assert tracer.unattributed.local == pytest.approx(0.25)
+        assert tracer.totals.local == pytest.approx(0.25)
+        assert len(tracer.spans) == 0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(SimClock()).charge("local", -1.0)
+
+    def test_events_and_cloud_ops_recorded(self):
+        tracer = Tracer(SimClock())
+        with tracer.span("get") as span:
+            tracer.event("pcache_hit")
+            tracer.count_cloud_op()
+        assert span.events == ["pcache_hit"]
+        assert span.cloud_ops == 1
+        assert tracer.event_counts == {"pcache_hit": 1}
+        assert tracer.total_cloud_ops == 1
+
+    def test_ring_truncation_counts_drops(self):
+        tracer = Tracer(SimClock(), capacity=4)
+        for i in range(10):
+            with tracer.span(f"op{i}"):
+                pass
+        assert len(tracer.spans) == 4
+        assert tracer.dropped_spans == 6
+        assert [s.op for s in tracer.spans] == ["op6", "op7", "op8", "op9"]
+
+
+class TestForkJoinAttribution:
+    def test_critical_path_attribution_conserves(self):
+        clock = SimClock()
+        device = LocalDevice(clock)
+        cloud = CloudObjectStore(clock)
+        tracer = Tracer(clock)
+        device.tracer = tracer
+        cloud.tracer = tracer
+        cloud.put("obj", b"x" * 1000)
+        tracer = Tracer(clock)  # fresh tracer: ignore setup charges
+        device.tracer = tracer
+        cloud.tracer = tracer
+        device.create("f")
+        device.append("f", b"y" * 1000)
+        with tracer.span("mixed") as span:
+            region = ForkJoinRegion(clock, [device, cloud])
+            with region.branch():
+                cloud.get("obj")  # slow branch: one RTT + transfer
+            with region.branch():
+                device.sync("f")  # fast branch, hidden behind the cloud
+            region.join()
+        assert span_conserved(span)
+        # The region's wall time came from the cloud branch.
+        assert span.tiers.cloud == pytest.approx(span.elapsed)
+        assert span.cloud_ops == 1
+
+    def test_fully_overlapped_region_attributes_nothing(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+
+        class Host:
+            def __init__(self):
+                self.tracer = tracer
+
+            def clock_scope(self, child):
+                return tracer.clock_scope(child)
+
+        clock.advance(10.0)
+        with tracer.span("op") as span:
+            region = ForkJoinRegion(clock, [Host()])
+            with region.branch(start=1.0):  # back-dated, ends in the past
+                charged(tracer, "cloud", 2.0)
+            region.join(strict=False)
+        assert span.elapsed == pytest.approx(0.0)
+        assert span.tiers.total() == pytest.approx(0.0)
+        assert span_conserved(span)
+        # The request still happened even though its latency was hidden.
+        assert tracer.totals.cloud == pytest.approx(2.0)
+
+    def test_unchanged_branch_falls_back_to_cpu(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+
+        class Host:
+            def __init__(self):
+                self.tracer = tracer
+
+            def clock_scope(self, child):
+                return tracer.clock_scope(child)
+
+        with tracer.span("op") as span:
+            region = ForkJoinRegion(clock, [Host()])
+            with region.branch() as child:
+                child.advance(0.5)  # queueing delay, no device charge
+            region.join()
+        assert span.tiers.cpu == pytest.approx(0.5)
+        assert span_conserved(span)
+
+
+class TestExport:
+    def test_jsonl_round_trip(self):
+        tracer = Tracer(SimClock())
+        with tracer.span("get"):
+            charged(tracer, "cloud", 0.015)
+            tracer.event("cloud_get")
+            tracer.count_cloud_op()
+        with tracer.span("put"):
+            charged(tracer, "local", 0.001)
+        text = tracer.export_jsonl()
+        assert len(text.splitlines()) == 2
+        spans = Tracer.spans_from_jsonl(text)
+        assert [s.op for s in spans] == ["get", "put"]
+        assert spans[0].cloud_ops == 1
+        assert spans[0].events == ["cloud_get"]
+        assert spans[0].tiers.cloud == pytest.approx(0.015)
+        assert all(span_conserved(s) for s in spans)
+
+    def test_from_dict_inverse_of_to_dict(self):
+        span = TraceSpan(
+            op="scan",
+            span_id=7,
+            parent_id=3,
+            depth=1,
+            start=1.0,
+            end=2.5,
+            tiers=TierTimes(local=0.5, cloud=1.0),
+            cloud_ops=2,
+            events=["readahead_hit"],
+        )
+        assert TraceSpan.from_dict(span.to_dict()) == span
+
+    def test_summarize_empty(self):
+        summary = summarize_spans([])
+        assert summary["spans"] == 0
+        assert summary["conserved"] is True
+
+    def test_summarize_means(self):
+        tracer = Tracer(SimClock())
+        for _ in range(2):
+            with tracer.span("get"):
+                charged(tracer, "cloud", 0.010)
+                tracer.count_cloud_op()
+        summary = summarize_spans(tracer.spans)
+        assert summary["spans"] == 2
+        assert summary["cloud_s"] == pytest.approx(0.010)
+        assert summary["cloud_ops"] == pytest.approx(1.0)
+        assert summary["conserved"] is True
+
+
+class TestPrometheusRender:
+    def test_counters_and_tracer_sections(self):
+        counters = CounterSet()
+        counters.inc("cloud.get_ops", 3)
+        hist = LatencyHistogram()
+        hist.record(0.01)
+        tracer = Tracer(SimClock())
+        with tracer.span("get"):
+            charged(tracer, "cloud", 0.015)
+            tracer.event("cloud_get")
+            tracer.count_cloud_op()
+        text = render_prometheus(
+            counters=counters,
+            histograms={"read_latency_seconds": hist},
+            tracer=tracer,
+        )
+        assert "repro_cloud_get_ops_total 3" in text
+        assert 'repro_read_latency_seconds{quantile="0.5"}' in text
+        assert "repro_read_latency_seconds_count 1" in text
+        assert 'repro_tier_busy_seconds_total{tier="cloud"} 0.015' in text
+        assert "repro_cloud_requests_total 1" in text
+        assert 'repro_trace_events_total{event="cloud_get"} 1' in text
+        assert text.endswith("\n")
+
+    def test_metric_names_sanitized(self):
+        counters = CounterSet()
+        counters.inc("local.read-bytes", 1)
+        text = render_prometheus(counters=counters)
+        assert "repro_local_read_bytes_total 1" in text
+
+    def test_empty_render(self):
+        assert render_prometheus() == "\n" or render_prometheus() == ""
+
+
+class TestStoreSurfaces:
+    def make_store(self):
+        from repro.mash.store import RocksMashStore, StoreConfig
+
+        return RocksMashStore.create(StoreConfig().small())
+
+    def test_dump_metrics_exposition(self):
+        store = self.make_store()
+        for i in range(50):
+            store.put(b"key%03d" % i, b"v" * 64)
+        store.flush()
+        store.get(b"key001")
+        text = store.dump_metrics()
+        assert "# TYPE repro_local_sync_ops_total counter" in text
+        assert 'repro_read_latency_seconds{quantile="0.99"}' in text
+        assert "repro_write_latency_seconds_count" in text
+        assert 'repro_tier_busy_seconds_total{tier="local"}' in text
+        assert "repro_trace_spans" in text
+
+    def test_facade_spans_attribute_device_time(self):
+        store = self.make_store()
+        store.put(b"k", b"v")
+        span = store.tracer.spans[-1]
+        assert span.op == "put"
+        assert span.tiers.local > 0  # WAL sync hit the local device
+        assert span_conserved(span)
+
+    def test_repro_stats_property(self):
+        store = self.make_store()
+        for i in range(50):
+            store.put(b"key%03d" % i, b"v" * 64)
+        store.flush()
+        stats = store.db.get_property("repro.stats")
+        assert "** DB Stats **" in stats
+        assert "level  files  bytes" in stats
+        assert "compactions=" in stats
+        assert "last_sequence=" in stats
+        assert "block_cache_hit_ratio=" in stats
+
+    def test_recovery_span_recorded(self):
+        store = self.make_store()
+        store.put(b"k", b"v")
+        store = store.reopen(crash=True)
+        recovery = [s for s in store.tracer.spans if s.op == "recovery"]
+        assert len(recovery) == 1
+        assert span_conserved(recovery[0])

@@ -69,3 +69,37 @@ class TestAdmission:
         cache.put_data("t.sst", 0, b"x")
         cache.put_data("t.sst", 0, b"x")
         assert ("t.sst", 0) not in cache._ghost
+
+
+class TestAdmissionSurvivesSync:
+    """Regression: sync() used to wipe the ghost admission counters, so a
+    block re-offered after any intervening sync restarted its count from
+    zero — with admit_after_accesses > 1 it could never be admitted under
+    steady traffic."""
+
+    def test_offer_sync_offer_admits(self):
+        cache = cache_with(2)
+        cache.put_data("t.sst", 0, b"payload")
+        assert cache.get_data("t.sst", 0) is None  # first offer rejected
+        cache.sync()  # durability boundary between the two offers
+        cache.put_data("t.sst", 0, b"payload")
+        assert cache.get_data("t.sst", 0) == b"payload"
+
+    def test_metadata_pin_between_offers_does_not_reset(self):
+        # put_meta triggers slab appends (and, with sync_every_n_appends=1,
+        # implicit syncs) between the two data offers.
+        cache = cache_with(2)
+        cache.put_data("t.sst", 0, b"payload")
+        cache.put_meta("t.sst", "index", b"index-bytes")
+        cache.put_data("t.sst", 0, b"payload")
+        assert cache.get_data("t.sst", 0) == b"payload"
+
+    def test_rejections_bounded_under_steady_traffic(self):
+        cache = cache_with(2)
+        for _ in range(10):
+            cache.put_data("hot.sst", 0, b"hot")
+            cache.sync()
+        # Exactly one rejection (the first offer); the second offer admits
+        # and every later one finds the block already cached.
+        assert cache.stats.admission_rejections == 1
+        assert cache.get_data("hot.sst", 0) == b"hot"
