@@ -26,6 +26,8 @@ Quickstart::
     assert store.get(b"key") == b"value"
 """
 
+from typing import Any
+
 from repro.errors import (
     ClosedError,
     CorruptionError,
@@ -50,7 +52,7 @@ __all__ = [
 ]
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     """Lazily re-export the high-level store types.
 
     Keeps ``import repro`` cheap while still allowing

@@ -1,0 +1,54 @@
+"""reprolint — AST-based invariant linter for the simulated-clock store.
+
+The repo's core guarantees — deterministic replay on the simulated clock,
+per-span tier conservation (``local + cloud + cpu == elapsed``), crash
+points that always propagate — are dynamic properties a test run can only
+sample. :mod:`repro.lint` turns them into machine-checked *static* rules
+that fail at commit time:
+
+========  ==================================================================
+RL001     determinism: no wall clocks, unseeded randomness, or unsorted
+          directory listings anywhere under ``repro``
+RL002     charge attribution: every ``clock.advance`` in ``storage/``,
+          ``mash/``, ``lsm/`` is lexically paired with a tracer tier charge
+RL003     crash-point hygiene: no except handler can swallow
+          ``CrashPointFired``; every ``reach("<site>")`` literal matches the
+          ``CRASH_SITES`` registry and vice versa
+RL004     error taxonomy: raised exceptions derive from ``ReproError``
+          (explicit whitelist for Python-idiom types)
+RL005     no real I/O on simulated paths: ``lsm/``, ``mash/``, ``storage/``,
+          ``sim/`` never touch ``open()``/``os``/``threading``/``socket``
+          outside whitelisted device modules
+========  ==================================================================
+
+Usage::
+
+    python -m repro.lint src                 # exit 0 = clean, 1 = findings
+    python -m repro.lint src --format json
+    python -m repro.lint src --write-baseline
+
+Per-line suppression (same line or the comment line directly above)::
+
+    something_flagged()  # reprolint: ignore[RL005] -- deliberate, reason
+
+A committed baseline file (``reprolint.baseline.json``) grandfathers
+pre-existing findings so new code is gated strictly while legacy debt is
+paid down incrementally; this repo's baseline is empty.
+"""
+
+from repro.lint.config import SIM_SCOPES, LintConfig
+from repro.lint.engine import LintEngine, lint_paths
+from repro.lint.finding import Finding
+from repro.lint.registry import Rule, all_rules, get_rule, register
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintEngine",
+    "Rule",
+    "SIM_SCOPES",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "register",
+]

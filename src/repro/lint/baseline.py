@@ -1,0 +1,85 @@
+"""Committed-baseline support.
+
+A baseline grandfathers known findings: the gate fails only on findings
+whose fingerprint count exceeds what the baseline records, so new debt is
+blocked while existing debt is paid down file by file. Fingerprints hash
+(rule, path, source line, message) — not line numbers — so unrelated edits
+do not invalidate the baseline.
+
+Format (JSON, sorted keys, newline-terminated — diff-friendly)::
+
+    {
+      "version": 1,
+      "findings": {"<fingerprint>": <count>, ...}
+    }
+
+This repository's policy is an **empty** baseline: every finding is either
+fixed or annotated with an inline ``# reprolint: ignore[...]`` and a
+reason. The machinery exists so downstream forks can adopt the gate on a
+dirty tree without a flag day.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.errors import CorruptionError
+from repro.lint.finding import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "reprolint.baseline.json"
+
+
+def load_baseline(path: Path) -> Counter[str]:
+    """Read fingerprint counts from ``path``.
+
+    Raises:
+        CorruptionError: the file is not a valid baseline document.
+    """
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CorruptionError(f"unreadable baseline {path}: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+        raise CorruptionError(f"baseline {path}: unsupported document version")
+    findings = doc.get("findings", {})
+    if not isinstance(findings, dict):
+        raise CorruptionError(f"baseline {path}: 'findings' must be an object")
+    counts: Counter[str] = Counter()
+    for fingerprint, count in findings.items():
+        if not isinstance(fingerprint, str) or not isinstance(count, int) or count < 1:
+            raise CorruptionError(f"baseline {path}: bad entry {fingerprint!r}")
+        counts[fingerprint] = count
+    return counts
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Write the baseline capturing exactly ``findings``."""
+    counts = Counter(f.fingerprint for f in findings)
+    doc = {
+        "version": BASELINE_VERSION,
+        "findings": dict(sorted(counts.items())),
+    }
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: Counter[str]
+) -> tuple[list[Finding], int]:
+    """Split findings into (new, matched-count) against the baseline.
+
+    Findings are consumed against fingerprint counts in report order, so a
+    file with three identical baselined violations reports only a fourth.
+    """
+    budget = Counter(baseline)
+    fresh: list[Finding] = []
+    matched = 0
+    for finding in findings:
+        if budget[finding.fingerprint] > 0:
+            budget[finding.fingerprint] -= 1
+            matched += 1
+        else:
+            fresh.append(finding)
+    return fresh, matched

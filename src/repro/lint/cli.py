@@ -1,0 +1,126 @@
+"""Command-line front end: ``python -m repro.lint``.
+
+Exit codes are stable API for CI:
+
+* ``0`` — no (non-baselined) findings.
+* ``1`` — at least one finding.
+* ``2`` — usage or configuration error (bad arguments, missing path,
+  unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from pathlib import Path
+
+from repro.errors import CorruptionError
+from repro.lint.baseline import (
+    DEFAULT_BASELINE_NAME,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.config import LintConfig
+from repro.lint.engine import LintEngine
+from repro.lint.registry import all_rules
+from repro.lint.report import render_json, render_rules, render_text
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="reprolint — AST-based invariant linter for the repro tree",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="RL001,RL002",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE_NAME,
+        metavar="PATH",
+        help=f"baseline file (default: ./{DEFAULT_BASELINE_NAME} if present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        sys.stdout.write(render_rules())
+        return EXIT_CLEAN
+
+    enabled: tuple[str, ...] | None = None
+    if args.rules is not None:
+        enabled = tuple(
+            token.strip().upper() for token in args.rules.split(",") if token.strip()
+        )
+        known = {rule.id for rule in all_rules()}
+        unknown = [rule_id for rule_id in enabled if rule_id not in known]
+        if unknown:
+            sys.stderr.write(f"unknown rule id(s): {', '.join(unknown)}\n")
+            return EXIT_USAGE
+
+    paths = [Path(p) for p in args.paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        sys.stderr.write(f"no such path: {', '.join(missing)}\n")
+        return EXIT_USAGE
+
+    engine = LintEngine(LintConfig(enabled_rules=enabled))
+    findings = engine.run(paths)
+
+    baseline_path = Path(args.baseline)
+    if args.write_baseline:
+        write_baseline(baseline_path, findings)
+        sys.stdout.write(
+            f"wrote {len(findings)} finding(s) to {baseline_path}\n"
+        )
+        return EXIT_CLEAN
+
+    baselined = 0
+    if not args.no_baseline and baseline_path.is_file():
+        try:
+            baseline = load_baseline(baseline_path)
+        except CorruptionError as exc:
+            sys.stderr.write(f"{exc}\n")
+            return EXIT_USAGE
+        findings, baselined = apply_baseline(findings, Counter(baseline))
+
+    if args.format == "json":
+        sys.stdout.write(render_json(findings, baselined=baselined))
+    else:
+        sys.stdout.write(render_text(findings, baselined=baselined))
+    return EXIT_FINDINGS if findings else EXIT_CLEAN

@@ -1,0 +1,69 @@
+"""Configuration for a reprolint run.
+
+Scopes are *package-relative* paths: the engine maps every linted file to
+its path below the ``repro`` package (``src/repro/storage/local.py`` →
+``storage/local.py``), so the same rules work on the real tree and on the
+miniature fixture trees the self-tests build under ``tmp/repro/…``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Package-relative directories that run purely on the simulated clock.
+#: RL002 (charge pairing) and RL005 (no real I/O) scope to these.
+SIM_SCOPES: tuple[str, ...] = ("lsm/", "mash/", "storage/", "sim/")
+
+#: Modules allowed to do real I/O inside the simulated scopes: the
+#: directory-backed device is *deliberately* host-filesystem-backed (same
+#: simulated timing, real bytes — see its module docstring).
+REAL_IO_WHITELIST: tuple[str, ...] = ("storage/diskfile.py",)
+
+#: Exception names that may be raised without deriving from ReproError.
+#: Python-idiom programming-error types plus CrashPointFired, which is
+#: deliberately *not* a ReproError so nothing can catch-and-survive it.
+RAISE_WHITELIST: tuple[str, ...] = (
+    "AssertionError",
+    "AttributeError",
+    "CrashPointFired",
+    "IndexError",
+    "KeyError",
+    "KeyboardInterrupt",
+    "NotImplementedError",
+    "StopAsyncIteration",
+    "StopIteration",
+    "SystemExit",
+    "TypeError",
+    "ValueError",
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Knobs for one engine run; defaults match this repository's policy."""
+
+    enabled_rules: tuple[str, ...] | None = None
+    """Rule ids to run; ``None`` runs every registered rule."""
+
+    sim_scopes: tuple[str, ...] = SIM_SCOPES
+    real_io_whitelist: tuple[str, ...] = REAL_IO_WHITELIST
+    raise_whitelist: tuple[str, ...] = RAISE_WHITELIST
+
+    charge_window_before: int = 2
+    """RL002: a ``.charge(`` this many lines *above* an ``.advance(`` still
+    counts as its pair (charge-then-advance ordering)."""
+
+    charge_window_after: int = 6
+    """RL002: a ``.charge(`` this many lines *below* an ``.advance(`` still
+    counts as its pair (the common advance-then-mirror ordering)."""
+
+    exclude_parts: tuple[str, ...] = ("__pycache__",)
+    """Path components that exclude a file from collection."""
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        return self.enabled_rules is None or rule_id in self.enabled_rules
+
+
+def in_scopes(pkg_path: str, scopes: tuple[str, ...]) -> bool:
+    """Whether a package-relative path falls under any scope prefix."""
+    return any(pkg_path.startswith(scope) for scope in scopes)

@@ -1,0 +1,191 @@
+"""The lint engine: collect files, parse ASTs, run rules, filter findings.
+
+The engine is intentionally filesystem-light: it reads sources, parses them
+with :mod:`ast`, and hands immutable :class:`ModuleInfo` records to the
+rules. Nothing is imported or executed, so linting a broken tree is safe.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.config import LintConfig
+from repro.lint.finding import Finding, FindingCollector
+from repro.lint.registry import all_rules
+from repro.lint.suppress import is_suppressed, parse_suppressions
+
+PARSE_ERROR_RULE = "RL000"
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One parsed source file, as seen by the rules.
+
+    Attributes:
+        path: absolute path on disk.
+        rel_path: path relative to the linted root (for reporting).
+        pkg_path: path relative to the innermost ``repro`` package
+            directory (``storage/local.py``), which rule scopes key on; for
+            files outside any ``repro`` directory this equals ``rel_path``.
+        source: raw text.
+        lines: ``source.splitlines()`` (1-based indexing via ``line(n)``).
+        tree: parsed AST.
+        suppressions: 1-based line → suppressed rule ids (``"*"`` = all).
+    """
+
+    path: Path
+    rel_path: str
+    pkg_path: str
+    source: str
+    lines: list[str]
+    tree: ast.Module
+    suppressions: dict[int, frozenset[str]]
+
+    def line(self, lineno: int) -> str:
+        """The 1-based source line, or ``""`` out of range."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node``."""
+        lineno = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=rule_id,
+            path=self.rel_path,
+            line=lineno,
+            col=col,
+            message=message,
+            snippet=self.line(lineno).strip(),
+        )
+
+
+@dataclass
+class LintContext:
+    """Everything the rules can see during one run."""
+
+    config: LintConfig
+    modules: list[ModuleInfo] = field(default_factory=list)
+
+    def by_pkg_path(self, pkg_path: str) -> ModuleInfo | None:
+        for module in self.modules:
+            if module.pkg_path == pkg_path:
+                return module
+        return None
+
+
+def _pkg_path(path: Path, root: Path) -> str:
+    """Path below the innermost ``repro`` package directory.
+
+    Falls back to the root-relative path when no ``repro`` component
+    exists, so the engine still works on arbitrary trees.
+    """
+    parts = path.parts
+    for idx in range(len(parts) - 1, -1, -1):
+        if parts[idx] == "repro":
+            return "/".join(parts[idx + 1 :])
+    try:
+        return path.relative_to(root).as_posix()
+    except ValueError:
+        return path.name
+
+
+def collect_files(paths: list[Path], config: LintConfig) -> list[tuple[Path, Path]]:
+    """Expand files/directories into (file, root) pairs, sorted, deduped."""
+    seen: set[Path] = set()
+    out: list[tuple[Path, Path]] = []
+    for raw in paths:
+        root = raw.resolve()
+        if root.is_file():
+            candidates = [root]
+            base = root.parent
+        else:
+            candidates = sorted(root.rglob("*.py"))
+            base = root
+        for file in candidates:
+            if file in seen:
+                continue
+            if any(part in config.exclude_parts for part in file.parts):
+                continue
+            seen.add(file)
+            out.append((file, base))
+    return out
+
+
+class LintEngine:
+    """Runs every enabled rule over a set of paths."""
+
+    def __init__(self, config: LintConfig | None = None) -> None:
+        self.config = config or LintConfig()
+
+    # -- parsing -----------------------------------------------------------
+
+    def parse_module(
+        self, path: Path, root: Path, collector: FindingCollector
+    ) -> ModuleInfo | None:
+        rel = path.relative_to(root).as_posix() if path.is_relative_to(root) else str(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError, UnicodeDecodeError, ValueError) as exc:
+            collector.add(
+                Finding(
+                    rule=PARSE_ERROR_RULE,
+                    path=rel,
+                    line=getattr(exc, "lineno", 0) or 0,
+                    col=getattr(exc, "offset", 0) or 0,
+                    message=f"could not parse file: {exc}",
+                )
+            )
+            return None
+        lines = source.splitlines()
+        return ModuleInfo(
+            path=path,
+            rel_path=rel,
+            pkg_path=_pkg_path(path, root),
+            source=source,
+            lines=lines,
+            tree=tree,
+            suppressions=parse_suppressions(lines),
+        )
+
+    # -- running -----------------------------------------------------------
+
+    def run(self, paths: list[Path]) -> list[Finding]:
+        """Lint ``paths``; returns findings with suppressions applied."""
+        collector = FindingCollector()
+        ctx = LintContext(config=self.config)
+        for file, root in collect_files(paths, self.config):
+            module = self.parse_module(file, root, collector)
+            if module is not None:
+                ctx.modules.append(module)
+
+        rules = [r for r in all_rules() if self.config.rule_enabled(r.id)]
+        for module in ctx.modules:
+            for rule in rules:
+                for finding in rule.check_module(module, ctx):
+                    collector.add(finding)
+        for rule in rules:
+            for finding in rule.check_project(ctx):
+                collector.add(finding)
+
+        by_path = {m.rel_path: m for m in ctx.modules}
+        kept: list[Finding] = []
+        for finding in collector.sorted():
+            module = by_path.get(finding.path)
+            if module is not None and is_suppressed(
+                module.suppressions, finding.line, finding.rule
+            ):
+                continue
+            kept.append(finding)
+        return kept
+
+
+def lint_paths(
+    paths: list[str | Path], config: LintConfig | None = None
+) -> list[Finding]:
+    """Convenience wrapper: lint files/directories, return findings."""
+    return LintEngine(config).run([Path(p) for p in paths])

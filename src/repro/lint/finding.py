@@ -1,0 +1,70 @@
+"""Lint findings and their baseline fingerprints."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at a source location.
+
+    Attributes:
+        rule: rule identifier (``RL001`` … ``RL005``; ``RL000`` marks a file
+            the engine could not parse).
+        path: file path relative to the linted root, POSIX separators.
+        line: 1-based line of the offending node (0 for whole-file findings).
+        col: 0-based column of the offending node.
+        message: human-readable description of the violation.
+        snippet: the stripped source line, used for fingerprinting so
+            baselines survive unrelated edits that only shift line numbers.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash identifying this finding across line-number drift.
+
+        Deliberately excludes ``line``/``col``: two findings on identical
+        source lines in the same file share a fingerprint, and the baseline
+        stores per-fingerprint *counts* to keep matching exact.
+        """
+        basis = "\x1f".join((self.rule, self.path, self.snippet, self.message))
+        return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+@dataclass
+class FindingCollector:
+    """Accumulates findings for one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def sorted(self) -> list[Finding]:
+        return sorted(
+            self.findings, key=lambda f: (f.path, f.line, f.col, f.rule, f.message)
+        )

@@ -1,0 +1,41 @@
+"""Shared AST helpers for the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for Name/Attribute chains, else ``None``."""
+    parts: list[str] = []
+    cur: ast.expr = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def last_name(node: ast.expr) -> str | None:
+    """The final identifier of a Name/Attribute chain (``a.b.C`` → ``C``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def walk_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def str_const(node: ast.expr) -> str | None:
+    """The value of a string literal node, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None

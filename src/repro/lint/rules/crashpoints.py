@@ -1,0 +1,192 @@
+"""RL003 — crash-point hygiene.
+
+:class:`~repro.sim.failure.CrashPointFired` is deliberately not a
+``ReproError``: the whole reliability story (PR 2) rests on it propagating
+from an armed site to the harness unconditionally. Two ways code can break
+that contract, both checked here:
+
+**Swallowing handlers** (per module). An ``except`` clause that catches
+``Exception``/``BaseException``/everything — or names ``CrashPointFired``
+itself — and does not re-raise can eat a fired crash point, making the
+injected crash silently *not happen* and the recovery matrix vacuous. A
+broad handler is accepted only when a crash point provably cannot escape
+it: either it re-raises (a bare ``raise`` anywhere in its body) or an
+earlier handler on the same ``try`` catches ``CrashPointFired`` and
+re-raises it.
+
+**Registry drift** (cross file). Every ``reach("<site>")`` literal must
+name a site in the ``CRASH_SITES`` registry, and every registered site must
+be reached by some call site — otherwise the crashmonkey matrix either
+crashes on an unknown name at runtime or quietly stops covering a site.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+from typing import TYPE_CHECKING
+
+from repro.lint.finding import Finding
+from repro.lint.registry import Rule, register
+from repro.lint.rules._ast_util import last_name, str_const, walk_calls
+
+if TYPE_CHECKING:
+    from repro.lint.engine import LintContext, ModuleInfo
+
+BROAD_NAMES = frozenset({"Exception", "BaseException"})
+CRASH_EXC = "CrashPointFired"
+REGISTRY_NAME = "CRASH_SITES"
+
+
+def _handler_names(handler: ast.ExceptHandler) -> set[str]:
+    """Exception class names a handler catches (empty for bare except)."""
+    node = handler.type
+    if node is None:
+        return set()
+    exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = set()
+    for expr in exprs:
+        name = last_name(expr)
+        if name is not None:
+            names.add(name)
+    return names
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body contains a bare ``raise``.
+
+    Nested functions defined inside the handler do not count — their
+    ``raise`` runs later, if ever — so the walk stops at scope boundaries.
+    """
+    pending: list[ast.AST] = list(handler.body)
+    while pending:
+        node = pending.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+        pending.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _catches_all(handler: ast.ExceptHandler) -> bool:
+    return handler.type is None or bool(_handler_names(handler) & BROAD_NAMES)
+
+
+@register
+class CrashPointHygieneRule(Rule):
+    id = "RL003"
+    name = "crash-point-hygiene"
+    description = (
+        "no except handler may swallow CrashPointFired; reach() sites and "
+        "the CRASH_SITES registry must agree"
+    )
+
+    # -- per-module: swallowing handlers --------------------------------------
+
+    def check_module(
+        self, module: "ModuleInfo", ctx: "LintContext"
+    ) -> Iterable[Finding]:
+        return list(self._scan_handlers(module))
+
+    def _scan_handlers(self, module: "ModuleInfo") -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            crash_safe = False  # an earlier handler re-raised CrashPointFired
+            for handler in node.handlers:
+                names = _handler_names(handler)
+                if CRASH_EXC in names:
+                    if _reraises(handler):
+                        crash_safe = True
+                    else:
+                        yield module.finding(
+                            self.id,
+                            handler,
+                            "except clause catches CrashPointFired without "
+                            "re-raising — injected crashes must always "
+                            "propagate to the harness",
+                        )
+                    continue
+                if _catches_all(handler) and not crash_safe and not _reraises(handler):
+                    what = "bare except" if handler.type is None else (
+                        "except " + "/".join(sorted(names & BROAD_NAMES))
+                    )
+                    yield module.finding(
+                        self.id,
+                        handler,
+                        f"{what} can swallow CrashPointFired — narrow to the "
+                        "concrete exception types, or re-raise CrashPointFired "
+                        "in an earlier handler",
+                    )
+
+    # -- cross-file: registry consistency -------------------------------------
+
+    def check_project(self, ctx: "LintContext") -> Iterable[Finding]:
+        registry_module, registered = self._registered_sites(ctx)
+        if registry_module is None:
+            return ()  # no CRASH_SITES in the linted tree: nothing to check
+        findings: list[Finding] = []
+        reached: dict[str, tuple["ModuleInfo", ast.Call]] = {}
+        dynamic: set[str] = set()
+        for module in ctx.modules:
+            for call in walk_calls(module.tree):
+                if not isinstance(call.func, ast.Attribute):
+                    continue
+                if call.func.attr == "reach" and call.args:
+                    site = str_const(call.args[0])
+                    if site is None:
+                        continue
+                    reached.setdefault(site, (module, call))
+                    if site not in registered and site not in dynamic:
+                        findings.append(
+                            module.finding(
+                                self.id,
+                                call,
+                                f"reach({site!r}) names a crash point missing "
+                                f"from {REGISTRY_NAME} — arming and matrix "
+                                "enumeration cannot see it",
+                            )
+                        )
+                elif call.func.attr == "register" and call.args:
+                    site = str_const(call.args[0])
+                    if site is not None:
+                        dynamic.add(site)
+        for site in sorted(registered):
+            if site not in reached:
+                findings.append(
+                    registry_module.finding(
+                        self.id,
+                        registered[site],
+                        f"{REGISTRY_NAME} registers {site!r} but no "
+                        "reach() call site exists — the crashmonkey matrix "
+                        "silently stopped covering it",
+                    )
+                )
+        return findings
+
+    def _registered_sites(
+        self, ctx: "LintContext"
+    ) -> tuple["ModuleInfo | None", dict[str, ast.expr]]:
+        """The module defining CRASH_SITES and its literal keys."""
+        for module in ctx.modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    continue
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                if not any(
+                    isinstance(t, ast.Name) and t.id == REGISTRY_NAME for t in targets
+                ):
+                    continue
+                value = node.value
+                if not isinstance(value, ast.Dict):
+                    continue
+                sites: dict[str, ast.expr] = {}
+                for key in value.keys:
+                    if key is None:
+                        continue
+                    site = str_const(key)
+                    if site is not None:
+                        sites[site] = key
+                return module, sites
+        return None, {}

@@ -1,0 +1,113 @@
+"""RL004 — error taxonomy: raised exceptions derive from ``ReproError``.
+
+Callers of this library are promised a single catchable root
+(:class:`repro.errors.ReproError`) mirroring RocksDB's ``Status`` taxonomy.
+An ad-hoc ``raise RuntimeError(...)`` deep in the compaction path escapes
+that contract and tends to get caught by nobody (or, worse, by a broad
+handler that was only expecting library errors).
+
+The rule resolves each ``raise X(...)`` / ``raise X`` statement:
+
+* classes defined anywhere in the linted tree are resolved through their
+  base-class chain (cross-file) — deriving from ``ReproError`` passes;
+* a whitelist admits Python-idiom programming-error types (``ValueError``,
+  ``TypeError``, ``KeyError`` …) and ``CrashPointFired``, which must *not*
+  be a ReproError so nothing can catch-and-survive it;
+* other builtin exceptions (``Exception``, ``RuntimeError``, ``OSError``,
+  …) are violations;
+* names that resolve to neither (e.g. ``raise exc`` re-raising a captured
+  variable) are left alone — this is a linter, not a type checker.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
+
+from repro.lint.finding import Finding
+from repro.lint.registry import Rule, register
+from repro.lint.rules._ast_util import last_name
+
+if TYPE_CHECKING:
+    from repro.lint.engine import LintContext, ModuleInfo
+
+ROOT_EXC = "ReproError"
+
+#: Builtin exception class names, derived from the running interpreter.
+BUILTIN_EXCEPTIONS = frozenset(
+    name
+    for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException)
+)
+
+
+def _class_table(ctx: "LintContext") -> dict[str, list[str]]:
+    """class name → base-class names (last path component), tree-wide."""
+    table: dict[str, list[str]] = {}
+    for module in ctx.modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                bases = [b for b in (last_name(base) for base in node.bases) if b]
+                table.setdefault(node.name, bases)
+    return table
+
+
+def _derives_from_root(
+    name: str, table: dict[str, list[str]], whitelist: frozenset[str]
+) -> bool | None:
+    """True/False when resolvable; ``None`` when the name is unknown."""
+    seen: set[str] = set()
+    pending = [name]
+    resolvable = False
+    while pending:
+        cur = pending.pop()
+        if cur in seen:
+            continue
+        seen.add(cur)
+        if cur == ROOT_EXC or cur in whitelist:
+            return True
+        if cur in table:
+            resolvable = True
+            pending.extend(table[cur])
+        elif cur in BUILTIN_EXCEPTIONS:
+            resolvable = True  # known class, known to not reach the root
+    return False if resolvable else None
+
+
+@register
+class ErrorTaxonomyRule(Rule):
+    id = "RL004"
+    name = "error-taxonomy"
+    description = (
+        "raised exceptions must derive from ReproError (whitelist for "
+        "Python-idiom types and CrashPointFired)"
+    )
+
+    def check_project(self, ctx: "LintContext") -> Iterable[Finding]:
+        table = _class_table(ctx)
+        whitelist = frozenset(ctx.config.raise_whitelist)
+        findings: list[Finding] = []
+        for module in ctx.modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Raise) or node.exc is None:
+                    continue
+                exc = node.exc
+                target = exc.func if isinstance(exc, ast.Call) else exc
+                name = last_name(target)
+                if name is None:
+                    continue
+                verdict = _derives_from_root(name, table, whitelist)
+                if verdict is False:
+                    findings.append(
+                        module.finding(
+                            self.id,
+                            node,
+                            f"raise {name}: not a ReproError subclass and not "
+                            "whitelisted — callers are promised a single "
+                            "catchable ReproError root",
+                        )
+                    )
+        return findings

@@ -1,0 +1,63 @@
+"""Per-line suppression comments.
+
+Syntax (the ``--`` reason is encouraged but not enforced)::
+
+    risky_call()  # reprolint: ignore[RL001] -- seeded at startup
+    # reprolint: ignore[RL002, RL005] -- device module, real bytes intended
+    whole_line_suppressed_by_comment_above()
+
+``ignore`` without a bracket list suppresses every rule on that line; a
+bracket list suppresses only the named rules. A comment-only line applies
+to the next source line, so wrapped statements stay suppressible.
+"""
+
+from __future__ import annotations
+
+import re
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?"
+)
+
+#: Sentinel set meaning "every rule suppressed on this line".
+ALL_RULES = frozenset({"*"})
+
+
+def parse_suppressions(lines: list[str]) -> dict[int, frozenset[str]]:
+    """Map 1-based line numbers to the rule ids suppressed there.
+
+    A suppression written on a line that holds only a comment is attached
+    to the *following* line as well, covering multi-line statements whose
+    trailing comment would not fit.
+    """
+    suppressed: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules_text = match.group("rules")
+        if rules_text is None:
+            rules = ALL_RULES
+        else:
+            rules = frozenset(
+                token.strip().upper()
+                for token in rules_text.split(",")
+                if token.strip()
+            ) or ALL_RULES
+        targets = [lineno]
+        if text.lstrip().startswith("#"):
+            targets.append(lineno + 1)
+        for target in targets:
+            existing = suppressed.get(target, frozenset())
+            suppressed[target] = existing | rules
+    return suppressed
+
+
+def is_suppressed(
+    suppressions: dict[int, frozenset[str]], line: int, rule_id: str
+) -> bool:
+    """Whether ``rule_id`` is suppressed at 1-based ``line``."""
+    rules = suppressions.get(line)
+    if rules is None:
+        return False
+    return "*" in rules or rule_id.upper() in rules

@@ -26,7 +26,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
-from repro.errors import NotFoundError
+from repro.errors import CorruptionError, NotFoundError
 from repro.storage.local import LocalDevice
 from repro.util.crc import masked_crc32, verify_masked_crc32
 from repro.util.varint import decode_varint, encode_varint
@@ -157,7 +157,10 @@ class PersistentCache:
                     break
                 if not verify_masked_crc32(bytes(data[body_start:end]), stored_crc):
                     break
-            except Exception:
+            except (CorruptionError, UnicodeDecodeError):
+                # A torn/garbage tail parses as a truncated varint or a
+                # non-UTF-8 name; stop the scan at the last valid record.
+                # Never broader: CrashPointFired must propagate.
                 break
             if kind == _KIND_TOMB:
                 dropped.add(name)

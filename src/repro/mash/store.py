@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.errors import NotFoundError
 from repro.lsm.compaction import CompactionEvent
 from repro.lsm.db import DB, FlushEvent
 from repro.lsm.format import (
@@ -248,6 +249,9 @@ class RocksMashStore(StoreFacade):
         restarts: calling ``at_directory`` again on the same path recovers
         it. Timing still comes from the simulated clock.
         """
+        # Factory for the deliberately host-backed deployment; timing stays
+        # simulated, only durability is real (DirectoryBackedDevice docs).
+        # reprolint: ignore[RL005] -- host persistence is the feature here
         from pathlib import Path
 
         from repro.storage.diskfile import (
@@ -406,9 +410,11 @@ class RocksMashStore(StoreFacade):
         return cached
 
     def _is_cloud_file(self, file_name: str) -> bool:
+        # Only "file missing from both tiers" may be treated as not-cloud;
+        # anything else (notably CrashPointFired) must propagate.
         try:
             return self.env.tier_of(file_name) == CLOUD
-        except Exception:
+        except NotFoundError:
             return False
 
     # -- event handlers -----------------------------------------------------------

@@ -10,6 +10,12 @@ runs produce byte-identical expositions.
 from __future__ import annotations
 
 import re
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.metrics.counters import CounterSet
+    from repro.metrics.latency import LatencyHistogram
+    from repro.obs.trace import Tracer
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
@@ -29,9 +35,9 @@ def _fmt(value: float) -> str:
 
 def render_prometheus(
     *,
-    counters=None,
-    histograms: dict | None = None,
-    tracer=None,
+    counters: CounterSet | None = None,
+    histograms: dict[str, LatencyHistogram] | None = None,
+    tracer: Tracer | None = None,
     prefix: str = "repro",
 ) -> str:
     """Render metrics in the Prometheus text exposition format.

@@ -25,8 +25,10 @@ from __future__ import annotations
 
 import json
 from collections import deque
+from collections.abc import Iterable, Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.sim.clock import SimClock
 
@@ -81,7 +83,7 @@ class TraceSpan:
     def elapsed(self) -> float:
         return self.end - self.start
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "op": self.op,
             "id": self.span_id,
@@ -97,7 +99,7 @@ class TraceSpan:
         }
 
     @classmethod
-    def from_dict(cls, d: dict) -> "TraceSpan":
+    def from_dict(cls, d: dict[str, Any]) -> "TraceSpan":
         return cls(
             op=d["op"],
             span_id=d["id"],
@@ -117,7 +119,7 @@ def span_conserved(span: TraceSpan, *, rel_tol: float = 1e-9, abs_tol: float = 1
     return drift <= abs_tol + rel_tol * max(1.0, abs(span.elapsed))
 
 
-def summarize_spans(spans) -> dict:
+def summarize_spans(spans: Iterable[TraceSpan]) -> dict[str, Any]:
     """Aggregate a span collection for report tables.
 
     Returns per-span means of the tier components plus the mean cloud
@@ -215,7 +217,7 @@ class Tracer:
     # -- spans --------------------------------------------------------------
 
     @contextmanager
-    def span(self, op: str):
+    def span(self, op: str) -> Iterator[TraceSpan]:
         parent = next(
             (f.span for f in reversed(self._stack) if f.span is not None), None
         )
@@ -249,7 +251,7 @@ class Tracer:
     # -- fork/join participation -------------------------------------------
 
     @contextmanager
-    def clock_scope(self, clock: SimClock):
+    def clock_scope(self, clock: SimClock) -> Iterator[SimClock]:
         """Collect charges made inside a fork/join branch on a branch frame."""
         saved = self.clock
         self.clock = clock

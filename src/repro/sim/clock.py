@@ -14,8 +14,10 @@ without real threads, keeping every figure deterministic.
 
 from __future__ import annotations
 
-from contextlib import ExitStack, contextmanager
-from dataclasses import dataclass, field
+from collections.abc import Iterator
+from contextlib import AbstractContextManager, ExitStack, contextmanager
+from dataclasses import dataclass
+from typing import Protocol
 
 
 @dataclass
@@ -23,7 +25,6 @@ class SimClock:
     """A monotonically advancing virtual clock measured in seconds."""
 
     now: float = 0.0
-    _epoch_listeners: list = field(default_factory=list, repr=False)
 
     def advance(self, seconds: float) -> float:
         """Advance the clock by a non-negative duration; returns new time."""
@@ -95,13 +96,26 @@ class ClockCharged:
     clock: SimClock
 
     @contextmanager
-    def clock_scope(self, clock: SimClock):
+    def clock_scope(self, clock: SimClock) -> Iterator[SimClock]:
         saved = self.clock
         self.clock = clock
         try:
             yield clock
         finally:
             self.clock = saved
+
+
+class JoinParticipant(Protocol):
+    """Anything that scopes onto branch clocks and folds back at join.
+
+    The tier-attribution :class:`~repro.obs.trace.Tracer` is the canonical
+    implementation; the protocol keeps :mod:`repro.sim` free of an import
+    cycle with :mod:`repro.obs`.
+    """
+
+    def clock_scope(self, clock: SimClock) -> AbstractContextManager[SimClock]: ...
+
+    def absorb_join(self, children: list[SimClock], delta: float) -> None: ...
 
 
 class ForkJoinRegion:
@@ -132,14 +146,14 @@ class ForkJoinRegion:
         # carrying a ``tracer`` joins branch scopes too, so charges made
         # inside a branch collect per-branch and fold back at join with
         # critical-path attribution (see repro.obs.trace).
-        self._tracers: list = []
+        self._tracers: list[JoinParticipant] = []
         for host in hosts:
             tracer = getattr(host, "tracer", None)
             if tracer is not None and all(tracer is not t for t in self._tracers):
                 self._tracers.append(tracer)
 
     @contextmanager
-    def branch(self, start: float | None = None):
+    def branch(self, start: float | None = None) -> Iterator[SimClock]:
         """Run one concurrent task; ``start`` may back-date it (see
         :meth:`SimClock.child`)."""
         child = self.parent.child(start)

@@ -30,8 +30,10 @@ never-written keys.
 from __future__ import annotations
 
 import random
+from collections.abc import Iterable, Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Any, Protocol
 
 from repro.errors import IOErrorSim
 
@@ -258,7 +260,7 @@ crash_points = CrashPointRegistry()
 
 
 @contextmanager
-def armed(site: str, *, skip: int = 0):
+def armed(site: str, *, skip: int = 0) -> Iterator[CrashPointRegistry]:
     """Arm ``site`` for the duration of a block, disarming on exit."""
     crash_points.arm(site, skip=skip)
     try:
@@ -270,6 +272,24 @@ def armed(site: str, *, skip: int = 0):
 # --------------------------------------------------------------------------
 # Recovery oracle
 # --------------------------------------------------------------------------
+
+
+class OracleStore(Protocol):
+    """The store surface the oracle drives and verifies against.
+
+    Satisfied structurally by :class:`~repro.mash.store.RocksMashStore`
+    and every baseline store.
+    """
+
+    def put(self, key: bytes, value: bytes) -> None: ...
+
+    def delete(self, key: bytes) -> None: ...
+
+    def write(self, batch: Any) -> None: ...
+
+    def get(self, key: bytes) -> bytes | None: ...
+
+    def scan(self) -> Iterable[tuple[bytes, bytes]]: ...
 
 
 class RecoveryOracle:
@@ -314,17 +334,17 @@ class RecoveryOracle:
 
     # -- convenience wrappers ------------------------------------------------
 
-    def put(self, store, key: bytes, value: bytes) -> None:
+    def put(self, store: OracleStore, key: bytes, value: bytes) -> None:
         self.begin({key: value})
         store.put(key, value)
         self.commit()
 
-    def delete(self, store, key: bytes) -> None:
+    def delete(self, store: OracleStore, key: bytes) -> None:
         self.begin({key: None})
         store.delete(key)
         self.commit()
 
-    def write(self, store, batch) -> None:
+    def write(self, store: OracleStore, batch: Any) -> None:
         """Issue a :class:`~repro.lsm.write_batch.WriteBatch` atomically."""
         from repro.util.encoding import TYPE_VALUE
 
@@ -340,7 +360,7 @@ class RecoveryOracle:
     def tracked_keys(self) -> set[bytes]:
         return set(self.acked) | set(self.maybe)
 
-    def verify(self, store) -> list[str]:
+    def verify(self, store: OracleStore) -> list[str]:
         """Check the (recovered) store against the shadow; return problems.
 
         Invariants:

@@ -15,11 +15,16 @@ succeeding.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.errors import IOErrorSim, NotFoundError
 from repro.metrics.counters import CounterSet
 from repro.sim.clock import ClockCharged, SimClock
 from repro.sim.failure import FaultInjector, RetryPolicy
 from repro.sim.latency import LatencyModel, cloud_object_storage
+
+if TYPE_CHECKING:
+    from repro.obs.trace import Tracer
 
 
 class CloudObjectStore(ClockCharged):
@@ -39,7 +44,7 @@ class CloudObjectStore(ClockCharged):
         self.counters = counters if counters is not None else CounterSet()
         self.faults = faults
         self.retry = retry or RetryPolicy()
-        self.tracer = None  # set by the store facade for tier attribution
+        self.tracer: Tracer | None = None  # set by the store facade for tier attribution
         self._objects: dict[str, bytes] = {}
         # In-flight multipart uploads: key -> parts received so far. Parts
         # are durable server-side but invisible until complete_multipart;

@@ -22,6 +22,7 @@ from __future__ import annotations
 import os
 import random
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.errors import IOErrorSim, NotFoundError
 from repro.metrics.counters import CounterSet
@@ -30,15 +31,18 @@ from repro.sim.failure import FaultInjector
 from repro.sim.latency import LatencyModel
 from repro.storage.local import LocalDevice
 
+if TYPE_CHECKING:
+    from repro.storage.cloud import CloudObjectStore
+
 
 def directory_backed_object_store(
-    root: str | os.PathLike,
+    root: str | os.PathLike[str],
     clock: SimClock,
     model: LatencyModel | None = None,
     *,
     counters: CounterSet | None = None,
     faults: FaultInjector | None = None,
-):
+) -> CloudObjectStore:
     """A :class:`~repro.storage.cloud.CloudObjectStore` persisted to a host
     directory: existing objects are loaded at construction, and every
     successful put/delete is written through, so a deployment survives
@@ -93,7 +97,7 @@ class DirectoryBackedDevice(LocalDevice):
 
     def __init__(
         self,
-        root: str | os.PathLike,
+        root: str | os.PathLike[str],
         clock: SimClock,
         model: LatencyModel | None = None,
         *,

@@ -21,13 +21,17 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections.abc import Callable
+from typing import TypeVar
 
 from repro.errors import ClosedError, NotFoundError
+from repro.sim.clock import ClockCharged, SimClock
 from repro.storage.cloud import CloudObjectStore
 from repro.storage.local import LocalDevice
 
 LOCAL = "local"
 CLOUD = "cloud"
+
+_T = TypeVar("_T")
 
 
 class WritableFile(ABC):
@@ -97,7 +101,7 @@ class Env(ABC):
     @abstractmethod
     def list_files(self, prefix: str = "") -> list[str]: ...
 
-    def clock_hosts(self) -> list:
+    def clock_hosts(self) -> list[ClockCharged]:
         """The clock-charged backends behind this Env (device/object store).
 
         Fork/join sites (parallel compaction, batched reads) discover where
@@ -109,7 +113,7 @@ class Env(ABC):
         """
         return []
 
-    def sim_clock(self):
+    def sim_clock(self) -> SimClock | None:
         """The shared parent clock, or None for an un-clocked Env."""
         hosts = self.clock_hosts()
         return hosts[0].clock if hosts else None
@@ -187,7 +191,7 @@ class LocalEnv(Env):
     def list_files(self, prefix: str = "") -> list[str]:
         return self.device.list_files(prefix)
 
-    def clock_hosts(self) -> list:
+    def clock_hosts(self) -> list[ClockCharged]:
         return [self.device]
 
 
@@ -290,7 +294,7 @@ class CloudEnv(Env):
     def list_files(self, prefix: str = "") -> list[str]:
         return self.store.list_keys(prefix)
 
-    def clock_hosts(self) -> list:
+    def clock_hosts(self) -> list[ClockCharged]:
         return [self.store]
 
 
@@ -394,7 +398,7 @@ class HybridEnv(Env):
         names = set(self.local.list_files(prefix)) | set(self.cloud.list_files(prefix))
         return sorted(names)
 
-    def clock_hosts(self) -> list:
+    def clock_hosts(self) -> list[ClockCharged]:
         return [self.local.device, self.cloud.store]
 
     # -- migration -------------------------------------------------------------
@@ -433,7 +437,7 @@ class _HybridRandomAccessFile(RandomAccessFile):
         self._hybrid = hybrid
         self._inner = hybrid._resolve_raf(name)
 
-    def _retry(self, action):
+    def _retry(self, action: Callable[[RandomAccessFile], _T]) -> _T:
         try:
             return action(self._inner)
         except NotFoundError:

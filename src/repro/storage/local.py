@@ -15,12 +15,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import IOErrorSim, NotFoundError
 from repro.metrics.counters import CounterSet
 from repro.sim.clock import ClockCharged, SimClock
 from repro.sim.failure import FaultInjector
 from repro.sim.latency import LatencyModel, nvme_ssd
+
+if TYPE_CHECKING:
+    from repro.obs.trace import Tracer
 
 
 @dataclass
@@ -67,7 +71,7 @@ class LocalDevice(ClockCharged):
         self.capacity_bytes = capacity_bytes
         self.counters = counters if counters is not None else CounterSet()
         self.faults = faults
-        self.tracer = None  # set by the store facade for tier attribution
+        self.tracer: Tracer | None = None  # set by the store facade for tier attribution
         self._files: dict[str, _FileState] = {}
 
     # -- write path -------------------------------------------------------

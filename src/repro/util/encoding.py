@@ -31,7 +31,7 @@ def encode_fixed32(value: int) -> bytes:
 
 
 def decode_fixed32(buf: bytes, offset: int = 0) -> int:
-    return _FIXED32.unpack_from(buf, offset)[0]
+    return int(_FIXED32.unpack_from(buf, offset)[0])
 
 
 def encode_fixed64(value: int) -> bytes:
@@ -39,7 +39,7 @@ def encode_fixed64(value: int) -> bytes:
 
 
 def decode_fixed64(buf: bytes, offset: int = 0) -> int:
-    return _FIXED64.unpack_from(buf, offset)[0]
+    return int(_FIXED64.unpack_from(buf, offset)[0])
 
 
 def pack_trailer(sequence: int, value_type: int) -> bytes:

@@ -62,7 +62,7 @@ class SkipList:
         level = self._height - 1
         while True:
             nxt = node.next[level]
-            if nxt is not None and self._cmp(nxt.key, key) < 0:
+            if nxt is not None and nxt.key is not None and self._cmp(nxt.key, key) < 0:
                 node = nxt
             else:
                 if prev is not None:
@@ -75,7 +75,7 @@ class SkipList:
         """Insert ``key``; raises ``ValueError`` on duplicates."""
         prev: list[_Node] = [self._head] * MAX_HEIGHT
         found = self._find_greater_or_equal(key, prev)
-        if found is not None and self._cmp(found.key, key) == 0:
+        if found is not None and found.key is not None and self._cmp(found.key, key) == 0:
             raise ValueError("duplicate key inserted into SkipList")
         height = self._random_height()
         if height > self._height:
@@ -90,18 +90,20 @@ class SkipList:
 
     def contains(self, key: bytes) -> bool:
         node = self._find_greater_or_equal(key, None)
-        return node is not None and self._cmp(node.key, key) == 0
+        return node is not None and node.key is not None and self._cmp(node.key, key) == 0
 
     def seek(self, key: bytes) -> Iterator[bytes]:
         """Iterate keys >= ``key`` in comparator order."""
         node = self._find_greater_or_equal(key, None)
         while node is not None:
+            assert node.key is not None  # only the head sentinel lacks a key
             yield node.key
             node = node.next[0]
 
     def __iter__(self) -> Iterator[bytes]:
         node = self._head.next[0]
         while node is not None:
+            assert node.key is not None  # only the head sentinel lacks a key
             yield node.key
             node = node.next[0]
 

@@ -1,0 +1,142 @@
+"""reprolint self-tests against the real tree.
+
+Two halves:
+
+* the shipped tree is clean — ``python -m repro.lint src`` would exit 0;
+* **mutation self-tests** — seeding one violation per rule into a copy of
+  the real package makes the linter fail. This is the guard's guard: a
+  refactor that quietly breaks a rule's detection (or its scoping) fails
+  here, not months later when the invariant silently rots.
+"""
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+def findings_for(root: Path) -> list:
+    return lint_paths([root])
+
+
+class TestRealTree:
+    def test_shipped_tree_is_clean(self):
+        findings = findings_for(SRC)
+        locations = [f"{f.location()} {f.rule} {f.message}" for f in findings]
+        assert findings == [], "\n".join(locations)
+
+    def test_committed_baseline_is_empty(self):
+        # Repository policy: no grandfathered debt — every deliberate
+        # violation carries an inline suppression with a reason instead.
+        import json
+
+        doc = json.loads((REPO_ROOT / "reprolint.baseline.json").read_text())
+        assert doc["version"] == 1
+        assert doc["findings"] == {}
+
+
+@pytest.fixture
+def tree_copy(tmp_path):
+    """A scratch copy of src/repro the mutation tests can deface."""
+    dst = tmp_path / "repro"
+    shutil.copytree(
+        SRC / "repro", dst, ignore=shutil.ignore_patterns("__pycache__")
+    )
+    assert findings_for(tmp_path) == []  # the copy starts clean
+    return dst
+
+
+def mutate(path: Path, old: str, new: str) -> None:
+    source = path.read_text(encoding="utf-8")
+    assert old in source, f"mutation anchor missing from {path.name}: {old!r}"
+    path.write_text(source.replace(old, new), encoding="utf-8")
+
+
+class TestMutationSelfTests:
+    """Each seeded violation must be caught by exactly the right rule."""
+
+    def test_deleting_diskfile_tier_charge_fails_rl002(self, tree_copy):
+        # The issue's canonical mutation: drop one tracer mirror from the
+        # directory-backed device's sync path and the charge-attribution
+        # gate must fail on that file.
+        mutate(
+            tree_copy / "storage" / "diskfile.py",
+            "        cost = self.model.write_cost(len(pending))\n"
+            "        self.clock.advance(cost)\n"
+            "        if self.tracer is not None:\n"
+            '            self.tracer.charge("local", cost)\n',
+            "        cost = self.model.write_cost(len(pending))\n"
+            "        self.clock.advance(cost)\n",
+        )
+        findings = findings_for(tree_copy.parent)
+        assert [(f.rule, f.path.endswith("storage/diskfile.py")) for f in findings] == [
+            ("RL002", True)
+        ]
+
+    def test_wall_clock_read_fails_rl001(self, tree_copy):
+        path = tree_copy / "util" / "crc.py"
+        path.write_text(
+            path.read_text(encoding="utf-8")
+            + "\nimport time\n\n_T0 = time.time()\n",
+            encoding="utf-8",
+        )
+        findings = findings_for(tree_copy.parent)
+        assert {f.rule for f in findings} == {"RL001"}
+
+    def test_rebroadened_pcache_recovery_except_fails_rl003(self, tree_copy):
+        # Undo the PR's narrowing: a broad handler around the recovery loop
+        # could swallow an injected CrashPointFired again.
+        mutate(
+            tree_copy / "mash" / "pcache.py",
+            "except (CorruptionError, UnicodeDecodeError):",
+            "except Exception:",
+        )
+        findings = findings_for(tree_copy.parent)
+        assert {f.rule for f in findings} == {"RL003"}
+
+    def test_removing_reach_site_fails_rl003_registry_check(self, tree_copy):
+        # Deleting the only reach() of a registered site means the
+        # crashmonkey matrix silently stops covering it.
+        mutate(
+            tree_copy / "lsm" / "db.py",
+            'crash_points.reach("flush.before_manifest")',
+            "pass",
+        )
+        findings = findings_for(tree_copy.parent)
+        assert [f.rule for f in findings] == ["RL003"]
+        assert "flush.before_manifest" in findings[0].message
+
+    def test_ad_hoc_runtime_error_fails_rl004(self, tree_copy):
+        path = tree_copy / "util" / "varint.py"
+        path.write_text(
+            path.read_text(encoding="utf-8")
+            + '\n\ndef _explode():\n    raise RuntimeError("boom")\n',
+            encoding="utf-8",
+        )
+        findings = findings_for(tree_copy.parent)
+        assert {f.rule for f in findings} == {"RL004"}
+
+    def test_real_io_import_on_sim_path_fails_rl005(self, tree_copy):
+        path = tree_copy / "lsm" / "__init__.py"
+        path.write_text(
+            "import socket\n" + path.read_text(encoding="utf-8"),
+            encoding="utf-8",
+        )
+        findings = findings_for(tree_copy.parent)
+        assert {f.rule for f in findings} == {"RL005"}
+
+    def test_stripping_a_suppression_resurfaces_the_finding(self, tree_copy):
+        # The deliberate wall-time print in the bench runner is only
+        # tolerated because of its annotated suppression.
+        mutate(
+            tree_copy / "bench" / "__main__.py",
+            "  # reprolint: ignore[RL001] -- host-side progress report\n",
+            "\n",
+        )
+        findings = findings_for(tree_copy.parent)
+        assert {f.rule for f in findings} == {"RL001"}
