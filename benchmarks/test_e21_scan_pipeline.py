@@ -1,0 +1,76 @@
+"""E21 (extension) — pipelined scan prefetch: overlapped cloud RTTs.
+
+Expected shape: cold cloud-resident long scans get faster monotonically as
+``scan_prefetch_depth`` grows — the seek fan-out parallelises the initial
+reader opens and the per-level pipeline hides upcoming tables' open+prime
+round trips behind consumption of the current table — reaching ≥1.5×
+simulated-time speedup at depth 4. The ``digest`` column proves scan
+results are byte-identical at every depth, ``conserved`` proves tier
+attribution still sums to elapsed time on every scan span, and short
+scans bound speculation waste at ``depth`` abandoned prefetches per scan.
+
+Writes ``BENCH_e21.json`` so CI archives a machine-readable artifact
+alongside the table.
+"""
+
+import json
+import pathlib
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import e21_scan_pipeline
+
+ARTIFACT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_e21.json"
+
+SHORT_SCANS = 24
+
+
+def test_e21_scan_pipeline(benchmark):
+    table = run_experiment(benchmark, e21_scan_pipeline)
+    idx = table.headers.index
+    assert [row[idx("depth")] for row in table.rows] == [0, 1, 2, 4]
+
+    # Conservation held on every scan span at every depth — prefetch
+    # branches (joined, reaped, and abandoned alike) never break the
+    # local + cloud + cpu == elapsed invariant.
+    assert all(row[idx("conserved")] == "yes" for row in table.rows)
+
+    # The headline: depth 4 hides enough round trips for ≥1.5× on cold
+    # cloud-resident long scans, and deeper pipelines never hurt.
+    by_depth = {row[idx("depth")]: row for row in table.rows}
+    assert by_depth[4][idx("speedup")] >= 1.5
+    speedups = [row[idx("speedup")] for row in table.rows]
+    assert speedups == sorted(speedups)
+
+    # Results are byte-identical at every depth: the pipeline moves
+    # simulated time and requests, never data.
+    digests = {row[idx("digest")] for row in table.rows}
+    assert len(digests) == 1
+
+    # Prefetching is work-conserving on long scans: the pipeline replaces
+    # demand GETs instead of adding to them, and every speculative open is
+    # eventually consumed (no waste on a scan that reads everything).
+    assert by_depth[1][idx("cloud_gets")] <= by_depth[0][idx("cloud_gets")]
+    assert by_depth[0][idx("hits")] == 0
+    assert by_depth[0][idx("waste_long")] == 0
+    for depth in (1, 2, 4):
+        assert by_depth[depth][idx("hits")] > 0
+        assert by_depth[depth][idx("waste_long")] == 0
+
+    # Short scans abandon at most ``depth`` in-flight prefetches each.
+    assert by_depth[0][idx("waste_short")] == 0
+    for depth in (1, 2, 4):
+        assert by_depth[depth][idx("waste_short")] <= depth * SHORT_SCANS
+        # ... and the price is requests, not latency: short scans stay
+        # within a few ms of the unpipelined baseline.
+        assert by_depth[depth][idx("short_scan_ms")] <= (
+            by_depth[0][idx("short_scan_ms")] * 1.25
+        )
+
+    # Determinism: a second run reproduces the table exactly.
+    again = e21_scan_pipeline()
+    assert again.rows == table.rows
+
+    payload = table.to_dict()
+    payload["experiment"] = "e21_scan_pipeline"
+    payload["unit"] = "simulated seconds per cold full scan"
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")

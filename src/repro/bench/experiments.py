@@ -1031,6 +1031,102 @@ def e20_read_anatomy(records: int = 1800, reads: int = 90) -> Table:
     return table
 
 
+def e21_scan_pipeline(
+    records: int = 2600, long_scans: int = 4, short_scans: int = 24
+) -> Table:
+    """Table E21: the scan-prefetch pipeline — overlapped cloud RTTs.
+
+    Cold cloud-resident range scans (everything below L0 demoted, DRAM
+    cache off, tiny pcache data budget, open-table cache cleared per scan)
+    swept over ``scan_prefetch_depth`` 0/1/2/4. With the pipeline on, the
+    seek fans out the initial reader opens in parallel and each level keeps
+    up to ``depth`` upcoming tables speculatively opened + primed on forked
+    child clocks, so their round trips hide behind consumption of the
+    current table. The digest column proves scan *results* are identical
+    at every depth — the pipeline only moves simulated time and requests.
+
+    Short scans (limit 5) quantify the price of speculation: each abandons
+    at most ``depth`` in-flight prefetches (``waste_short`` counts them
+    across all short scans); the wasted GETs cost requests, never parent
+    latency. ``conserved`` checks local+cloud+cpu == elapsed on every scan
+    span, prefetch branches included.
+    """
+    import hashlib
+
+    from repro.obs.trace import span_conserved
+
+    table = Table(
+        "E21: pipelined scan prefetch (cold cloud-resident scans)",
+        [
+            "depth",
+            "long_scan_s",
+            "speedup",
+            "cloud_gets",
+            "hits",
+            "waste_long",
+            "short_scan_ms",
+            "waste_short",
+            "conserved",
+            "digest",
+        ],
+        notes=[
+            f"{records} records, cloud_level=1, DRAM cache off, 4 KiB pcache data",
+            f"budget; {long_scans} full scans + {short_scans} limit-5 scans, table",
+            "cache cleared per scan; hits/waste are prefetch events; digest over",
+            "all scanned key/value bytes — identical at every depth",
+        ],
+    )
+    stride = max(1, records // short_scans)
+    base_long = None
+    for depth in (0, 1, 2, 4):
+        knobs = HarnessKnobs(
+            scan_prefetch_depth=depth,
+            cloud_level=1,
+            block_cache_bytes=0,
+            pcache_budget_bytes=4 << 10,
+        )
+        store = make_store("rocksmash", knobs)
+        dbbench.fill_database(store, records)
+        t0 = store.clock.now
+        gets0 = store.counters.get("cloud.get_ops")
+        digest = ""
+        for _ in range(long_scans):
+            store.db.table_cache.clear()
+            hasher = hashlib.sha256()
+            for key, value in store.scan(None, None):
+                hasher.update(key)
+                hasher.update(value)
+            digest = hasher.hexdigest()[:12]
+        long_s = (store.clock.now - t0) / long_scans
+        cloud_gets = (store.counters.get("cloud.get_ops") - gets0) / long_scans
+        hits = store.tracer.event_count("prefetch_hit")
+        waste_long = store.tracer.event_count("prefetch_waste")
+        t1 = store.clock.now
+        for i in range(short_scans):
+            store.db.table_cache.clear()
+            store.scan(make_key(i * stride), None, limit=5)
+        short_ms = (store.clock.now - t1) / short_scans * 1e3
+        waste_short = store.tracer.event_count("prefetch_waste") - waste_long
+        conserved = all(
+            span_conserved(s) for s in store.tracer.spans if s.op == "scan"
+        )
+        if base_long is None:
+            base_long = long_s
+        table.add_row(
+            depth,
+            long_s,
+            base_long / long_s,
+            cloud_gets,
+            hits,
+            waste_long,
+            short_ms,
+            waste_short,
+            "yes" if conserved else "no",
+            digest,
+        )
+    return table
+
+
 ALL_EXPERIMENTS = {
     "e1": e1_write_micro,
     "e2": e2_read_micro,
@@ -1054,4 +1150,5 @@ ALL_EXPERIMENTS = {
     "e19a": e19a_crash_recovery_shards,
     "e19b": e19b_write_fault_storm,
     "e20": e20_read_anatomy,
+    "e21": e21_scan_pipeline,
 }

@@ -13,6 +13,8 @@ breakdown (local/cloud/cpu seconds) that sums to its wall-clock elapsed time.
 
 from __future__ import annotations
 
+from contextlib import closing
+
 from repro.lsm.db import DB, Snapshot
 from repro.lsm.write_batch import WriteBatch
 from repro.metrics.counters import CounterSet
@@ -90,11 +92,15 @@ class StoreFacade:
         limit: int | None = None,
     ) -> list[tuple[bytes, bytes]]:
         with StopwatchRegion(self.clock) as sw, self.tracer.span("scan"):
-            results = []
-            for i, kv in enumerate(self.db.scan(begin, end)):
-                if limit is not None and i >= limit:
-                    break
-                results.append(kv)
+            # Close the generator inside the span: a limited scan's cleanup
+            # (version unpin, prefetch-pipeline finish + waste accounting)
+            # then runs deterministically here, not at garbage collection.
+            with closing(self.db.scan(begin, end)) as it:
+                results = []
+                for i, kv in enumerate(it):
+                    if limit is not None and i >= limit:
+                        break
+                    results.append(kv)
         self.read_latency.record(sw.elapsed)
         return results
 
@@ -106,11 +112,12 @@ class StoreFacade:
     ) -> list[tuple[bytes, bytes]]:
         """Descending-order range scan over user keys in [begin, end)."""
         with StopwatchRegion(self.clock) as sw, self.tracer.span("scan_reverse"):
-            results = []
-            for i, kv in enumerate(self.db.scan_reverse(begin, end)):
-                if limit is not None and i >= limit:
-                    break
-                results.append(kv)
+            with closing(self.db.scan_reverse(begin, end)) as it:
+                results = []
+                for i, kv in enumerate(it):
+                    if limit is not None and i >= limit:
+                        break
+                    results.append(kv)
         self.read_latency.record(sw.elapsed)
         return results
 

@@ -107,6 +107,12 @@ class DB:
         self.block_fetch_hook = None
         """Optional callable ``(path, file_name)`` observing block-read
         outcomes (e.g. ``("dram_hit", name)``); set by the store facade."""
+        self.scan_pipeline_factory = None
+        """Optional ``(begin, end) -> pipeline | None`` building per-scan
+        prefetch state (see :class:`repro.mash.prefetch.ScanPrefetcher`);
+        the pipeline gets ``seek_fanout``/``table_started`` hooks during
+        iteration and ``finish`` when the scan ends. Set by store
+        variants — the base engine scans without one."""
         self.table_cache = TableCache(
             env,
             prefix,
@@ -661,20 +667,38 @@ class DB:
         sequence = snapshot.sequence if snapshot else self.versions.last_sequence
         seek_key = make_internal_key(begin, MAX_SEQUENCE, TYPE_VALUE) if begin else None
         version = self._pin_version()
+        pipeline = (
+            self.scan_pipeline_factory(begin, end)
+            if self.scan_pipeline_factory is not None
+            else None
+        )
         try:
             sources = []
             if seek_key is not None:
                 sources.append(self.memtable.seek(seek_key))
             else:
                 sources.append(iter(self.memtable))
-            for meta in version.files[0]:
+            l0_files = self._files_in_scan_range(version.files[0], begin, end)
+            level_files = [
+                self._files_in_scan_range(version.files[level], begin, end)
+                for level in range(1, self.options.num_levels)
+            ]
+            if pipeline is not None:
+                # Seek fan-out: every reader the merge heap opens on its
+                # first pull, opened as parallel branches instead of a
+                # serial chain of cloud round trips.
+                initial = list(l0_files) + [files[0] for files in level_files if files]
+                pipeline.seek_fanout(initial, seek_key)
+            for meta in l0_files:
                 sources.append(self._table_iter(meta, seek_key))
-            for level in range(1, self.options.num_levels):
-                if version.files[level]:
-                    sources.append(self._level_iter(version, level, begin, seek_key))
+            for files in level_files:
+                if files:
+                    sources.append(self._level_iter(files, seek_key, pipeline))
             merged = merge_internal(sources)
             yield from clamp_to_range(visible_user_entries(merged, sequence), begin, end)
         finally:
+            if pipeline is not None:
+                pipeline.finish()
             self._unpin_version(version)
 
     def scan_reverse(
@@ -702,11 +726,12 @@ class DB:
         version = self._pin_version()
         try:
             sources = [self.memtable.reverse_iter()]
-            for meta in version.files[0]:
+            for meta in self._files_in_scan_range(version.files[0], begin, end):
                 sources.append(self.table_cache.get_reader(meta.number).reverse_iter())
             for level in range(1, self.options.num_levels):
-                if version.files[level]:
-                    sources.append(self._level_reverse_iter(version, level, end))
+                files = self._files_in_scan_range(version.files[level], begin, end)
+                if files:
+                    sources.append(self._level_reverse_iter(files))
             merged = merge_internal_reverse(sources)
             yield from clamp_to_range_reverse(
                 visible_user_entries_reverse(merged, sequence), begin, end
@@ -714,11 +739,24 @@ class DB:
         finally:
             self._unpin_version(version)
 
-    def _level_reverse_iter(self, version, level: int, end: bytes | None):
+    @staticmethod
+    def _files_in_scan_range(files, begin: bytes | None, end: bytes | None):
+        """Files whose key range intersects the half-open scan [begin, end).
+
+        Unlike :meth:`FileMetaData.overlaps_user_range` (inclusive end,
+        used by compaction), a file whose smallest key equals ``end`` is
+        disjoint from the scan and must not be opened.
+        """
+        return [
+            meta
+            for meta in files
+            if not (begin is not None and meta.largest_user_key < begin)
+            and not (end is not None and meta.smallest_user_key >= end)
+        ]
+
+    def _level_reverse_iter(self, files):
         def gen():
-            for meta in reversed(version.files[level]):
-                if end is not None and meta.smallest_user_key >= end:
-                    continue
+            for meta in reversed(files):
                 yield from self.table_cache.get_reader(meta.number).reverse_iter()
 
         return gen()
@@ -729,11 +767,11 @@ class DB:
             return iter(reader)
         return reader.seek(seek_key)
 
-    def _level_iter(self, version, level: int, begin: bytes | None, seek_key: bytes | None):
+    def _level_iter(self, files, seek_key: bytes | None, pipeline=None):
         def gen():
-            for meta in version.files[level]:
-                if begin is not None and meta.largest_user_key < begin:
-                    continue
+            for index, meta in enumerate(files):
+                if pipeline is not None:
+                    pipeline.table_started(files, index, seek_key)
                 yield from self._table_iter(meta, seek_key)
 
         return gen()

@@ -87,6 +87,16 @@ class Options:
     this many bytes — turning an RTT-per-block scan of cloud-resident
     inputs into a few large transfers."""
 
+    scan_prefetch_depth: int = 0
+    """Pipelined scan prefetch: while a range scan consumes one table of a
+    level, speculatively open and readahead-prime up to this many upcoming
+    cloud-resident tables on forked child clocks, so their round trips
+    overlap consumption of the current table (RocksDB async-iterator-style;
+    see :mod:`repro.mash.prefetch`). 0 disables the pipeline (the default);
+    only store variants that install a ``scan_pipeline_factory`` honor it.
+    Scan *results* are identical at any depth — only simulated timing and
+    request counts change."""
+
     max_manifest_file_size: int = 256 << 10
     """Rewrite (compact) the MANIFEST once its edit log exceeds this size;
     0 disables rewriting."""
@@ -134,6 +144,8 @@ class Options:
             raise ValueError("max_subcompactions must be >= 1")
         if self.compaction_readahead_bytes < 0:
             raise ValueError("compaction_readahead_bytes must be >= 0")
+        if self.scan_prefetch_depth < 0:
+            raise ValueError("scan_prefetch_depth must be >= 0")
         if self.bloom_bits_per_key:
             self.filter_policy = BloomFilterPolicy(bits_per_key=self.bloom_bits_per_key)
 

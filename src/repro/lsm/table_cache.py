@@ -55,6 +55,14 @@ class TableCache:
             self._readers[number] = reader
         return reader
 
+    def has_reader(self, number: int) -> bool:
+        """Is a reader for this table already open (no I/O either way)?
+
+        The scan-prefetch pipeline uses this to hand already-open readers
+        off for free instead of speculatively re-opening them.
+        """
+        return number in self._readers
+
     def evict(self, number: int) -> None:
         """Forget a deleted table's reader."""
         self._readers.pop(number, None)

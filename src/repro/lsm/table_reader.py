@@ -162,6 +162,20 @@ class TableReader:
 
     # -- iteration ----------------------------------------------------------
 
+    def first_data_handle(self, target: bytes | None = None) -> BlockHandle | None:
+        """Handle of the first data block a scan from ``target`` reads.
+
+        Index-only (no data-block I/O): used by the scan-prefetch pipeline
+        to prime a table's opening range ahead of consumption. ``None``
+        target means iteration from the table's start; a table with no
+        block at/after ``target`` returns None.
+        """
+        index_iter = self._index.seek(target) if target is not None else iter(self._index)
+        for _, handle_bytes in index_iter:
+            handle, _ = decode_handle(handle_bytes)
+            return handle
+        return None
+
     def __iter__(self) -> Iterator[tuple[bytes, bytes]]:
         """All entries in internal-key order."""
         for _, handle_bytes in self._index:

@@ -6,6 +6,12 @@ RTT-bound. Like RocksDB's iterator readahead, :class:`ReadaheadBuffer`
 detects a sequential access pattern per file and fetches a large contiguous
 range in one request, serving subsequent blocks from the buffered bytes.
 
+The streak detector recognizes *both* directions: ascending offsets (a
+forward scan) and descending block-adjacent offsets (a reverse scan, which
+reads the block ending exactly where the previous one began). A descending
+streak fetches the range *ending* at the current block, so reverse scans
+coalesce GETs the same way forward scans do.
+
 Readahead-served blocks are *not* admitted to the persistent cache — a scan
 would otherwise flush the point-lookup working set (scan-resistant
 caching).
@@ -32,6 +38,11 @@ class ReadaheadBuffer:
     ``get(handle)`` returns the unsealed block payload when it can serve it
     (buffered, or by issuing a readahead fetch after two sequential
     accesses), else None — the caller falls back to its normal path.
+
+    ``initial_window`` seeds the adaptive window (clamped to
+    ``readahead_bytes``): the scan-prefetch pipeline passes the previous
+    file's grown window so a level iteration does not restart the rampup
+    at 4 KiB on every file boundary.
     """
 
     INITIAL_READAHEAD = 4 << 10
@@ -43,6 +54,7 @@ class ReadaheadBuffer:
         readahead_bytes: int = 128 << 10,
         verify: bool = True,
         eager: bool = False,
+        initial_window: int | None = None,
     ) -> None:
         if readahead_bytes <= 0:
             raise ValueError("readahead_bytes must be positive")
@@ -53,16 +65,26 @@ class ReadaheadBuffer:
         self.stats = ReadaheadStats()
         self._buffer = b""
         self._buffer_base = -1
-        self._expected_offset = -1
+        self._expected_fwd = -1  # next forward-sequential offset
+        self._expected_rev = -1  # offset the next reverse-adjacent block ends at
         self._streak = 0
         # Adaptive sizing (RocksDB-style): start small so short scans are
         # not penalized by overfetch, double on each consecutive fetch.
         # Eager mode (compaction inputs: the whole file *will* be read)
         # skips the rampup and fetches full-size ranges from the first
         # access.
-        self._current_readahead = (
-            readahead_bytes if eager else min(self.INITIAL_READAHEAD, readahead_bytes)
-        )
+        if eager:
+            self._initial_window = readahead_bytes
+        elif initial_window is not None and initial_window > 0:
+            self._initial_window = min(initial_window, readahead_bytes)
+        else:
+            self._initial_window = min(self.INITIAL_READAHEAD, readahead_bytes)
+        self._current_readahead = self._initial_window
+
+    @property
+    def current_window(self) -> int:
+        """The adaptive window as grown so far (for cross-file carry)."""
+        return self._current_readahead
 
     def _slice_from_buffer(self, handle: BlockHandle) -> bytes | None:
         if self._buffer_base < 0:
@@ -73,6 +95,25 @@ class ReadaheadBuffer:
             return None
         return unseal_block(self._buffer[start:end], verify=self.verify)
 
+    def prime(self, handle: BlockHandle, length: int) -> None:
+        """Speculatively fetch ``length`` bytes starting at ``handle``.
+
+        Used by the scan-prefetch pipeline: the first ranged GET of a table
+        is issued ahead of consumption (on a forked child clock), and the
+        buffer is left in established-streak state so the scan both serves
+        its opening blocks from the primed bytes and continues fetching at
+        the carried window without re-proving sequentiality.
+        """
+        raw_len = handle.size + BLOCK_TRAILER_SIZE
+        length = max(length, raw_len)
+        self._buffer = self.file.read(handle.offset, length)
+        self._buffer_base = handle.offset
+        self.stats.fetches += 1
+        self.stats.fetched_bytes += len(self._buffer)
+        self._expected_fwd = handle.offset  # first get() continues the run
+        self._expected_rev = -1
+        self._streak = 2
+
     def get(self, handle: BlockHandle) -> bytes | None:
         """Serve a data-block read if it continues a sequential run.
 
@@ -82,10 +123,16 @@ class ReadaheadBuffer:
         an unaccounted, never-evicted extra cache.
         """
         raw_len = handle.size + BLOCK_TRAILER_SIZE
-        first_access = self._expected_offset < 0
-        sequential = handle.offset == self._expected_offset
-        self._expected_offset = handle.offset + raw_len
-        if not sequential and not (self.eager and first_access):
+        first_access = self._expected_fwd < 0 and self._expected_rev < 0
+        forward = handle.offset == self._expected_fwd
+        reverse = (
+            not self.eager
+            and self._expected_rev >= 0
+            and handle.offset + raw_len == self._expected_rev
+        )
+        self._expected_fwd = handle.offset + raw_len
+        self._expected_rev = handle.offset
+        if not forward and not reverse and not (self.eager and first_access):
             self.invalidate()
             if not self.eager:
                 return None
@@ -100,11 +147,18 @@ class ReadaheadBuffer:
         if not self.eager and self._streak < 2:
             return None  # one coincidence is not a scan yet
         # Established sequential pattern: fetch a range in one request,
-        # growing geometrically while the scan keeps going.
+        # growing geometrically while the scan keeps going. A descending
+        # streak fetches the range that *ends* at the current block.
         length = max(self._current_readahead, raw_len)
         self._current_readahead = min(self._current_readahead * 2, self.readahead_bytes)
-        self._buffer = self.file.read(handle.offset, length)
-        self._buffer_base = handle.offset
+        if reverse:
+            block_end = handle.offset + raw_len
+            start = max(0, block_end - length)
+            self._buffer = self.file.read(start, block_end - start)
+            self._buffer_base = start
+        else:
+            self._buffer = self.file.read(handle.offset, length)
+            self._buffer_base = handle.offset
         self.stats.fetches += 1
         self.stats.fetched_bytes += len(self._buffer)
         return self._slice_from_buffer(handle)
@@ -113,8 +167,4 @@ class ReadaheadBuffer:
         self._buffer = b""
         self._buffer_base = -1
         self._streak = 0
-        self._current_readahead = (
-            self.readahead_bytes
-            if self.eager
-            else min(self.INITIAL_READAHEAD, self.readahead_bytes)
-        )
+        self._current_readahead = self._initial_window

@@ -38,6 +38,7 @@ from repro.facade import StoreFacade
 from repro.mash.layout import BlockHeatTracker, LayoutConfig
 from repro.mash.pcache import PCacheConfig, PersistentCache
 from repro.mash.placement import PlacementConfig, PlacementManager, make_router
+from repro.mash.prefetch import ScanPrefetcher
 from repro.mash.readahead import ReadaheadBuffer
 from repro.mash.xwal import XWalConfig, XWalReplayer, XWalWriter
 from repro.metrics.counters import CounterSet
@@ -66,6 +67,12 @@ class StoreConfig:
     scan_readahead_bytes: int = 128 << 10
     """Sequential readahead for cloud-resident tables (0 disables); see
     :mod:`repro.mash.readahead`."""
+
+    scan_prefetch_prime_bytes: int = 64 << 10
+    """Bytes of each speculatively opened table fetched by its priming GET
+    when the scan-prefetch pipeline is active (``Options.
+    scan_prefetch_depth > 0``); see :mod:`repro.mash.prefetch`. 0 opens
+    readers ahead of time without priming data."""
 
     multi_get_parallelism: int = 8
     """Concurrent cloud fetches per multi_get wave (1 = sequential)."""
@@ -155,6 +162,11 @@ class RocksMashStore(StoreFacade):
         )
         self.pcache = PersistentCache.open(local_device, config.pcache)
         self.heat = BlockHeatTracker(config.layout)
+        # Active scan-prefetch pipelines (newest last): the block-loader
+        # wrapper serves data blocks from their primed buffers, so a
+        # prefetched range is handed off to the consuming scan instead of
+        # being re-fetched. Must exist before MashDB.open builds loaders.
+        self._scan_prefetchers: list[ScanPrefetcher] = []
         self._init_facade()
 
         with StopwatchRegion(clock) as sw, self.tracer.span("recovery"):
@@ -169,6 +181,8 @@ class RocksMashStore(StoreFacade):
             )
         self.last_recovery_seconds = sw.elapsed
         self.db.block_fetch_hook = self._on_block_fetch
+        if config.options.scan_prefetch_depth > 0:
+            self.db.scan_pipeline_factory = self._make_scan_prefetcher
 
         # Event order matters: the heat tracker must see compaction outputs
         # (and pre-warm from their still-local files) before placement
@@ -347,6 +361,40 @@ class RocksMashStore(StoreFacade):
         self.read_latency.record(sw.elapsed)
         return results
 
+    # -- pipelined scan prefetch ---------------------------------------------------
+
+    def _make_scan_prefetcher(self, begin, end):
+        """Per-scan prefetch pipeline (``DB.scan_pipeline_factory`` hook).
+
+        One :class:`ScanPrefetcher` per forward scan: seek fan-out of the
+        initial reader opens, then up to ``scan_prefetch_depth`` cloud
+        tables speculatively opened + primed ahead of the merge iterator
+        on forked child clocks (see :mod:`repro.mash.prefetch`).
+        """
+        del begin, end  # pruning happens in DB.scan; the pipeline sees files
+        prefetcher = ScanPrefetcher(
+            clock=self.clock,
+            hosts=self.env.clock_hosts(),
+            tracer=self.tracer,
+            table_cache=self.db.table_cache,
+            is_cloud=self._is_cloud_file,
+            depth=self.config.options.scan_prefetch_depth,
+            prime_bytes=self.config.scan_prefetch_prime_bytes,
+            readahead_bytes=self.config.scan_readahead_bytes,
+            verify=self.config.options.paranoid_checks,
+            on_finish=self._scan_prefetchers.remove,
+        )
+        self._scan_prefetchers.append(prefetcher)
+        return prefetcher
+
+    def _prefetched_buffer(self, file_name: str):
+        """The active scan pipeline's primed buffer for a file, if any."""
+        for prefetcher in reversed(self._scan_prefetchers):
+            buffer = prefetcher.buffers.get(file_name)
+            if buffer is not None:
+                return buffer
+        return None
+
     # -- block-fetch interception ------------------------------------------------
 
     def _pcache_loader_wrapper(self, name, file, next_loader):
@@ -377,12 +425,23 @@ class RocksMashStore(StoreFacade):
             if cached is not None:
                 self.tracer.event("pcache_hit")
                 return cached
-            if readahead is not None and self._is_cloud_file(file_name):
-                payload = readahead.get(handle)
-                if payload is not None:
-                    # Scan-resistant: readahead blocks skip pcache admission.
-                    self.tracer.event("readahead_hit")
-                    return payload
+            if self._is_cloud_file(file_name):
+                # A scan-prefetch pipeline's primed buffer takes priority
+                # over the per-reader buffer: it already holds the table's
+                # opening range and the level's carried window.
+                primed = self._prefetched_buffer(file_name)
+                if primed is not None:
+                    payload = primed.get(handle)
+                    if payload is not None:
+                        self.tracer.event("readahead_hit")
+                        return payload
+                elif readahead is not None:
+                    payload = readahead.get(handle)
+                    if payload is not None:
+                        # Scan-resistant: readahead blocks skip pcache
+                        # admission.
+                        self.tracer.event("readahead_hit")
+                        return payload
             payload = next_loader(file_name, handle, kind)
             if self._is_cloud_file(file_name):
                 self.tracer.event("cloud_get")

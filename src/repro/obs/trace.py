@@ -214,6 +214,15 @@ class Tracer:
         if self._stack:
             self._stack[-1].events.append(label)
 
+    def event_count(self, label: str) -> int:
+        """Total occurrences of a path event across the tracer's lifetime.
+
+        Unlike per-span event lists, this survives ring-buffer eviction and
+        counts events fired outside any span (e.g. a prefetch branch the
+        scan abandoned) — experiments use it for hit/waste accounting.
+        """
+        return self.event_counts.get(label, 0)
+
     # -- spans --------------------------------------------------------------
 
     @contextmanager

@@ -1,0 +1,150 @@
+"""Integration tests for scan range pruning and the prefetch pipeline."""
+
+import pytest
+
+from repro.bench.harness import HarnessKnobs, make_store
+from repro.lsm.db import DB
+from repro.lsm.options import Options
+from repro.sim.clock import SimClock
+from repro.storage.env import LocalEnv
+from repro.storage.local import LocalDevice
+from repro.workloads import dbbench
+from repro.workloads.generator import make_key
+
+
+def l0_options():
+    """Big memtable + high L0 trigger: explicit flushes pile up L0 files."""
+    return Options(
+        write_buffer_size=64 << 10,
+        block_size=512,
+        level0_file_num_compaction_trigger=100,
+        block_cache_bytes=0,
+    )
+
+
+@pytest.fixture
+def db():
+    database = DB.open(LocalEnv(LocalDevice(SimClock())), "db/", l0_options())
+    yield database
+    database.close()
+
+
+def fill_chunks(db, chunks=8, per_chunk=50):
+    """One L0 file per chunk; chunk ``j`` owns keys ``{j:02d}k{i:03d}``."""
+    for j in range(chunks):
+        for i in range(per_chunk):
+            db.put(f"{j:02d}k{i:03d}".encode(), f"v{j}.{i}".encode())
+        db.flush()
+
+
+class TestScanRangePruning:
+    """Scans must not open readers for files disjoint from [begin, end)."""
+
+    def test_forward_scan_opens_only_intersecting_l0(self, db):
+        fill_chunks(db)
+        assert db.get_property("repro.num-files-at-level0") == 8
+        db.table_cache.clear()
+        got = list(db.scan(b"03", b"04"))
+        assert len(got) == 50
+        assert all(k.startswith(b"03") for k, _ in got)
+        assert len(db.table_cache) == 1
+
+    def test_reverse_scan_opens_only_intersecting_l0(self, db):
+        fill_chunks(db)
+        db.table_cache.clear()
+        got = list(db.scan_reverse(b"03", b"05"))
+        assert len(got) == 100
+        assert [k for k, _ in got] == sorted(
+            (k for k, _ in got), reverse=True
+        )
+        assert len(db.table_cache) == 2
+
+    def test_end_boundary_is_exclusive(self, db):
+        fill_chunks(db)
+        db.table_cache.clear()
+        # end == chunk 4's smallest key: chunk 4's file must stay closed.
+        got = list(db.scan(b"03k000", b"04k000"))
+        assert len(got) == 50
+        assert len(db.table_cache) == 1
+
+    def test_unbounded_scan_still_sees_everything(self, db):
+        fill_chunks(db)
+        assert len(list(db.scan())) == 8 * 50
+
+
+def cold_cloud_store(depth, records=600):
+    """RocksMash with everything below L0 cloud-resident and caches cold."""
+    store = make_store(
+        "rocksmash",
+        HarnessKnobs(
+            scan_prefetch_depth=depth,
+            cloud_level=1,
+            block_cache_bytes=0,
+            pcache_budget_bytes=4 << 10,
+        ),
+    )
+    dbbench.fill_database(store, records)
+    store.db.table_cache.clear()
+    return store
+
+
+class TestScanPrefetchPipeline:
+    def test_results_identical_and_round_trips_hidden(self):
+        base = cold_cloud_store(depth=0)
+        piped = cold_cloud_store(depth=2)
+
+        t0 = base.clock.now
+        expect = base.scan()
+        base_elapsed = base.clock.now - t0
+
+        t0 = piped.clock.now
+        got = piped.scan()
+        piped_elapsed = piped.clock.now - t0
+
+        assert got == expect
+        assert base.tracer.event_count("prefetch_issue") == 0
+        assert piped.tracer.event_count("prefetch_issue") > 0
+        assert piped.tracer.event_count("prefetch_hit") > 0
+        assert piped.tracer.event_count("seek_fanout") == 1
+        assert piped_elapsed < base_elapsed
+
+    def test_prefetch_replaces_demand_gets(self):
+        base = cold_cloud_store(depth=0)
+        piped = cold_cloud_store(depth=2)
+        gets0 = base.counters.get("cloud.get_ops")
+        base.scan()
+        gets1 = piped.counters.get("cloud.get_ops")
+        piped.scan()
+        base_gets = base.counters.get("cloud.get_ops") - gets0
+        piped_gets = piped.counters.get("cloud.get_ops") - gets1
+        # Speculation is work-conserving on a full scan: every prefetched
+        # table is consumed, so request counts do not inflate.
+        assert piped_gets <= base_gets
+        assert piped.tracer.event_count("prefetch_waste") == 0
+
+    def test_short_scan_waste_bounded_by_depth(self):
+        store = cold_cloud_store(depth=4)
+        store.scan(make_key(0), None, limit=5)
+        waste = store.tracer.event_count("prefetch_waste")
+        assert waste <= 4
+        issued = store.tracer.event_count("prefetch_issue")
+        hits = store.tracer.event_count("prefetch_hit")
+        assert hits + waste == issued
+
+    def test_depth_zero_installs_no_pipeline(self):
+        store = cold_cloud_store(depth=0)
+        assert store.db.scan_pipeline_factory is None
+        store.scan()
+        for label in ("prefetch_issue", "prefetch_hit", "prefetch_waste"):
+            assert store.tracer.event_count(label) == 0
+
+    def test_reverse_scan_readahead_fires_on_cloud_tables(self):
+        store = cold_cloud_store(depth=0)
+        expect = store.scan()
+        store.db.table_cache.clear()
+        hits0 = store.tracer.event_count("readahead_hit")
+        got = store.scan_reverse()
+        assert got == expect[::-1]
+        # The descending-streak detector turns the reverse scan's block
+        # loads into buffered readahead hits instead of per-block GETs.
+        assert store.tracer.event_count("readahead_hit") - hits0 > 50

@@ -101,3 +101,82 @@ class TestReadahead:
         file, _, _, _ = build_file(num_blocks=2)
         with pytest.raises(ValueError):
             ReadaheadBuffer(file, readahead_bytes=0)
+
+
+class TestReverseReadahead:
+    def test_descending_run_triggers_fetch_and_serves(self):
+        file, _, handles, _ = build_file(num_blocks=60)
+        ra = ReadaheadBuffer(file, readahead_bytes=64 << 10)
+        assert ra.get(handles[59]) is None  # first touch
+        assert ra.get(handles[58]) is None  # streak=1, not yet
+        payload = ra.get(handles[57])  # streak=2 -> reverse fetch
+        assert payload == bytes([57]) * 100
+        assert ra.stats.fetches == 1
+        for i in range(56, 20, -1):
+            got = ra.get(handles[i])
+            assert got == bytes([i % 256]) * 100
+        assert ra.stats.sequential_hits > 0
+
+    def test_descending_saves_round_trips(self):
+        file, clock, handles, store = build_file(num_blocks=100, rtt=10e-3)
+
+        def scan_with(ra):
+            start = clock.now
+            for h in reversed(handles):
+                if ra is None or ra.get(h) is None:
+                    store.get_range("table.sst", h.offset, h.size + BLOCK_TRAILER_SIZE)
+            return clock.now - start
+
+        per_block = scan_with(None)
+        with_ra = scan_with(ReadaheadBuffer(file, readahead_bytes=64 << 10))
+        assert with_ra < per_block / 2
+
+    def test_jump_discards_descending_buffer(self):
+        file, _, handles, _ = build_file()
+        ra = ReadaheadBuffer(file)
+        ra.get(handles[20])
+        ra.get(handles[19])
+        assert ra.get(handles[18]) is not None  # descending buffer filled
+        assert ra.get(handles[40]) is None  # jump: buffer dropped
+        assert ra.get(handles[17]) is None  # and streak restarted
+
+    def test_eager_mode_refetches_on_backward_step(self):
+        file, _, handles, _ = build_file()
+        ra = ReadaheadBuffer(file, eager=True)
+        assert ra.get(handles[10]) is not None  # eager: first access fetches
+        fetches = ra.stats.fetches
+        # Eager (compaction) mode has no reverse streak: a backward step
+        # drops the buffer and re-fetches forward from the new position.
+        assert ra.get(handles[9]) is not None
+        assert ra.stats.fetches == fetches + 1
+
+
+class TestPrime:
+    def test_prime_serves_first_block_without_streak(self):
+        file, _, handles, _ = build_file()
+        ra = ReadaheadBuffer(file, readahead_bytes=64 << 10)
+        ra.prime(handles[0], 4 << 10)
+        assert ra.stats.fetches == 1
+        # The primed range serves immediately — no two-touch warmup.
+        for i in range(0, 30):
+            got = ra.get(handles[i])
+            assert got == bytes([i % 256]) * 100, i
+        assert ra.stats.sequential_hits > 0
+
+    def test_prime_covers_at_least_one_block(self):
+        file, _, handles, _ = build_file(block_payload=3000)
+        ra = ReadaheadBuffer(file, readahead_bytes=64 << 10)
+        ra.prime(handles[5], 16)  # smaller than the block: rounded up
+        assert ra.get(handles[5]) == bytes([5]) * 3000
+
+    def test_initial_window_carries_growth(self):
+        file, _, _, _ = build_file(num_blocks=2)
+        ra = ReadaheadBuffer(file, readahead_bytes=64 << 10, initial_window=32 << 10)
+        assert ra.current_window == 32 << 10
+        ra.invalidate()  # resets to the carried window, not 4 KiB
+        assert ra.current_window == 32 << 10
+
+    def test_initial_window_clamped_to_max(self):
+        file, _, _, _ = build_file(num_blocks=2)
+        ra = ReadaheadBuffer(file, readahead_bytes=8 << 10, initial_window=1 << 20)
+        assert ra.current_window == 8 << 10
