@@ -1,0 +1,103 @@
+"""E22 (extension) — sharded serving: tail-latency knees vs shard count.
+
+Expected shape: under open-loop Poisson load, the single-shard node
+saturates at its closed-loop throughput (the 1x column) — past it, queue
+wait dominates p99/p999 and the bounded admission queue starts dropping.
+Adding shards pushes the knee right roughly in proportion: at 4x offered
+load the 4- and 8-shard nodes still complete every request while 1 shard
+drops hundreds, and their p999 stays orders of magnitude below the
+saturated node's. The ``digest`` column proves results are byte-identical
+across shard counts, arrival rates, and the unsharded baseline on every
+drop-free row; ``conserved`` proves tier attribution still sums to
+elapsed on every span even with thousands of overlapping in-flight
+request clocks. The YCSB-A rows show deferred flush/compaction surfacing
+as queueing interference (``maint_ms``) on the single shard's tail.
+
+Writes ``BENCH_e22.json`` so CI archives a machine-readable artifact
+alongside the table.
+"""
+
+import json
+import pathlib
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import e22_sharded_serving
+
+ARTIFACT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_e22.json"
+
+
+def test_e22_sharded_serving(benchmark):
+    table = run_experiment(benchmark, e22_sharded_serving)
+    idx = table.headers.index
+
+    knee = [
+        row
+        for row in table.rows
+        if row[idx("wl")] == "C" and row[idx("server")] == "sharded"
+    ]
+    single = [
+        row
+        for row in table.rows
+        if row[idx("wl")] == "C" and row[idx("server")] == "single"
+    ]
+    assert sorted({row[idx("shards")] for row in knee}) == [1, 2, 4, 8]
+    assert {row[idx("shards")] for row in single} == {1}
+
+    # Conservation held on every span of every run — request scoping kept
+    # local + cloud + cpu == elapsed under concurrent in-flight clocks.
+    assert all(row[idx("conserved")] == "yes" for row in table.rows)
+
+    def rows_at(rows, shards, rate):
+        return next(
+            r for r in rows if r[idx("shards")] == shards and r[idx("rate")] == rate
+        )
+
+    # The knee: one shard saturates at 1x offered load (queueing tail well
+    # above service time), while 4 and 8 shards at 4x still complete every
+    # request with a far smaller tail.
+    saturated = rows_at(knee, 1, "1x")
+    assert saturated[idx("qwait_p99_ms")] > 10 * rows_at(knee, 8, "1x")[idx("p999_ms")]
+    for shards in (4, 8):
+        calm = rows_at(knee, shards, "4x")
+        assert calm[idx("drops")] == 0
+        assert calm[idx("p999_ms")] * 10 < rows_at(knee, 1, "2x")[idx("p999_ms")]
+
+    # Overload control: past the knee the single shard's bounded admission
+    # queue drops arrivals instead of letting wait diverge.
+    assert rows_at(knee, 1, "2x")[idx("drops")] > 0
+    assert rows_at(knee, 1, "4x")[idx("drops")] > rows_at(knee, 1, "2x")[idx("drops")]
+
+    # Shard-parallel speedup on YCSB-C at equal offered load (4x): the
+    # sharded node sustains several times the single store's completions.
+    assert (
+        rows_at(knee, 8, "4x")[idx("tput")]
+        >= 3.0 * rows_at(single, 1, "4x")[idx("tput")]
+    )
+
+    # Digest-identical results wherever nothing was dropped — across shard
+    # counts, arrival rates, and sharded vs unsharded execution.
+    for wl in ("C", "A", "B"):
+        digests = {
+            row[idx("digest")]
+            for row in table.rows
+            if row[idx("wl")] == wl and row[idx("drops")] == 0
+        }
+        assert len(digests) == 1, f"workload {wl} drop-free digests diverged"
+
+    # Deferred-maintenance interference: on YCSB-A the single shard's
+    # compactions land on its busy timeline and blow up the tail; spread
+    # over 4 shards the same write stream compacts far less and the tail
+    # collapses.
+    a1 = rows_at([r for r in table.rows if r[idx("wl")] == "A"], 1, "1x")
+    a4 = rows_at([r for r in table.rows if r[idx("wl")] == "A"], 4, "1x")
+    assert a1[idx("maint_ms")] > a4[idx("maint_ms")]
+    assert a1[idx("p999_ms")] > 10 * a4[idx("p999_ms")]
+
+    # Determinism: a second run reproduces the table exactly.
+    again = e22_sharded_serving()
+    assert again.rows == table.rows
+
+    payload = table.to_dict()
+    payload["experiment"] = "e22_sharded_serving"
+    payload["unit"] = "simulated ops/s and milliseconds"
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")

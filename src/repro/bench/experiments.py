@@ -1127,6 +1127,137 @@ def e21_scan_pipeline(
     return table
 
 
+def e22_sharded_serving(
+    records: int = 2000,
+    operations: int = 1200,
+    shard_counts: tuple[int, ...] = (1, 2, 4, 8),
+    rate_multipliers: tuple[float, ...] = (0.5, 1.0, 2.0, 4.0),
+) -> Table:
+    """Table E22: multi-tenant sharded serving under open-loop load.
+
+    An N-way :class:`~repro.serve.sharded.ShardedDB` (range-partitioned
+    RocksMash shards over shared simulated devices) is driven by the
+    open-loop front-end: Poisson arrivals at multiples of the single-store
+    closed-loop YCSB-C throughput, per-shard FIFO queueing, and a bounded
+    admission queue (256 outstanding per shard). Three blocks:
+
+    * **knee** — YCSB-C across shard counts × offered rates: below the
+      knee latency is flat near service time; past it, ``qwait_p99``
+      dominates p99/p999 and more shards push the knee right (parallel
+      service). Overload rows may drop arrivals (admission control).
+    * **single** — the unsharded store behind the same front-end at equal
+      offered load: the shard-parallel speedup baseline.
+    * **mix** — YCSB-A/B where deferred flush+compaction replays on the
+      shard's busy timeline after the triggering response (``maint_ms``),
+      surfacing as queueing interference on later requests' tails rather
+      than one victim op's service time.
+
+    The digest column hashes every read value and scan result: on
+    drop-free rows it is identical across shard counts, rates, and the
+    single-store baseline — sharding and scheduling move simulated time,
+    never results. ``conserved`` checks local+cloud+cpu == elapsed on
+    every span, concurrent in-flight requests included.
+    """
+    from repro.bench.harness import rocksmash_config
+    from repro.obs.trace import span_conserved
+    from repro.serve import (
+        FrontendConfig,
+        ServeConfig,
+        ShardedDB,
+        SingleStoreServer,
+        run_open_loop,
+    )
+
+    table = Table(
+        "E22: sharded serving — tail latency vs shard count and offered load",
+        [
+            "wl",
+            "server",
+            "shards",
+            "rate",
+            "tput",
+            "p50_ms",
+            "p99_ms",
+            "p999_ms",
+            "qwait_p99_ms",
+            "drops",
+            "maint_ms",
+            "conserved",
+            "digest",
+        ],
+        notes=[
+            f"{records} records, {operations} open-loop ops; rate = multiple of the",
+            "closed-loop single-store YCSB-C throughput; queue capacity 256/shard;",
+            "p* over total latency (queue wait + service); maint_ms = deferred",
+            "flush/compaction replayed post-response; digest over read/scan results",
+            "— equal on all drop-free rows of a workload",
+        ],
+    )
+    # Cloud-resident reads (everything below L0 demoted, DRAM cache off,
+    # tiny pcache budget): per-request service is dominated by cloud RTTs
+    # at every shard count, so the queueing knee — not per-shard cache
+    # capacity — is what shard count moves.
+    knobs = HarnessKnobs(
+        cloud_level=1, block_cache_bytes=0, pcache_budget_bytes=4 << 10
+    )
+
+    calibration = make_store("rocksmash", knobs)
+    spec_c = ycsb.ALL_WORKLOADS["C"].scaled(records, operations)
+    ycsb.load_phase(calibration, spec_c)
+    base_rate = ycsb.run_phase(calibration, spec_c).throughput
+
+    def run_row(workload: str, shards: int, mult: float, *, single: bool) -> None:
+        spec = ycsb.ALL_WORKLOADS[workload].scaled(records, operations)
+        if single:
+            store = make_store("rocksmash", knobs)
+            server = SingleStoreServer(store)
+            tracer = store.tracer
+            target = store
+        else:
+            node = ShardedDB(
+                ServeConfig(
+                    base=rocksmash_config(knobs),
+                    num_shards=shards,
+                    key_space=records,
+                )
+            )
+            server = node
+            tracer = node.tracer
+            target = node
+        ycsb.load_phase(target, spec)
+        result = run_open_loop(
+            server,
+            spec,
+            FrontendConfig(arrival_rate=base_rate * mult, queue_capacity=256),
+        )
+        conserved = all(span_conserved(s) for s in tracer.spans)
+        table.add_row(
+            workload,
+            "single" if single else "sharded",
+            server.num_shards,
+            f"{mult:g}x",
+            result.throughput,
+            result.latency.percentile(50) * 1e3,
+            result.latency.percentile(99) * 1e3,
+            result.latency.percentile(99.9) * 1e3,
+            result.queue_wait.percentile(99) * 1e3,
+            result.dropped,
+            result.maintenance_seconds * 1e3,
+            "yes" if conserved else "no",
+            result.outcome_digest[:12],
+        )
+
+    for shards in shard_counts:
+        for mult in rate_multipliers:
+            run_row("C", shards, mult, single=False)
+    for mult in rate_multipliers:
+        run_row("C", 1, mult, single=True)
+    for workload in ("A", "B"):
+        for shards in (1, 4):
+            run_row(workload, shards, 1.0, single=False)
+    return table
+
+
 ALL_EXPERIMENTS = {
     "e1": e1_write_micro,
     "e2": e2_read_micro,
@@ -1151,4 +1282,5 @@ ALL_EXPERIMENTS = {
     "e19b": e19b_write_fault_storm,
     "e20": e20_read_anatomy,
     "e21": e21_scan_pipeline,
+    "e22": e22_sharded_serving,
 }

@@ -98,6 +98,34 @@ def engine_options(knobs: HarnessKnobs) -> Options:
     )
 
 
+def rocksmash_config(knobs: HarnessKnobs | None = None) -> StoreConfig:
+    """The RocksMash :class:`StoreConfig` the harness builds for the given
+    knobs — exposed so the serving layer (:mod:`repro.serve`) can derive
+    per-shard configs from the same experiment parameters."""
+    knobs = knobs or HarnessKnobs()
+    return StoreConfig(
+        options=engine_options(knobs),
+        cloud_model=knobs.cloud_model(),
+        placement=PlacementConfig(
+            cloud_level=knobs.cloud_level,
+            local_bytes_budget=knobs.local_bytes_budget,
+            upload_parallelism=knobs.upload_parallelism,
+        ),
+        pcache=PCacheConfig(data_budget_bytes=knobs.pcache_budget_bytes),
+        layout=LayoutConfig(
+            aware=knobs.layout_aware,
+            prewarm_heat_threshold=knobs.prewarm_heat_threshold,
+        ),
+        xwal=XWalConfig(
+            num_shards=knobs.xwal_shards,
+            apply_cost_per_record=knobs.xwal_apply_cost,
+        ),
+        scan_readahead_bytes=knobs.scan_readahead_bytes,
+        multi_get_parallelism=knobs.multi_get_parallelism,
+        cloud_error_rate=knobs.cloud_error_rate,
+    )
+
+
 def make_store(system: str, knobs: HarnessKnobs | None = None):
     """Build one of the four systems with the given knobs."""
     knobs = knobs or HarnessKnobs()
@@ -120,28 +148,7 @@ def make_store(system: str, knobs: HarnessKnobs | None = None):
             )
         )
     if system == "rocksmash":
-        config = StoreConfig(
-            options=options,
-            cloud_model=cloud_model,
-            placement=PlacementConfig(
-                cloud_level=knobs.cloud_level,
-                local_bytes_budget=knobs.local_bytes_budget,
-                upload_parallelism=knobs.upload_parallelism,
-            ),
-            pcache=PCacheConfig(data_budget_bytes=knobs.pcache_budget_bytes),
-            layout=LayoutConfig(
-                aware=knobs.layout_aware,
-                prewarm_heat_threshold=knobs.prewarm_heat_threshold,
-            ),
-            xwal=XWalConfig(
-                num_shards=knobs.xwal_shards,
-                apply_cost_per_record=knobs.xwal_apply_cost,
-            ),
-            scan_readahead_bytes=knobs.scan_readahead_bytes,
-            multi_get_parallelism=knobs.multi_get_parallelism,
-            cloud_error_rate=knobs.cloud_error_rate,
-        )
-        store = RocksMashStore.create(config)
+        store = RocksMashStore.create(rocksmash_config(knobs))
         if not knobs.pin_metadata:
             _disable_metadata_pinning(store)
         return store

@@ -13,7 +13,8 @@ breakdown (local/cloud/cpu seconds) that sums to its wall-clock elapsed time.
 
 from __future__ import annotations
 
-from contextlib import closing
+from collections.abc import Iterator
+from contextlib import ExitStack, closing, contextmanager
 
 from repro.lsm.db import DB, Snapshot
 from repro.lsm.write_batch import WriteBatch
@@ -48,30 +49,63 @@ class StoreFacade:
     def _init_facade(self, *, trace_capacity: int = 2048) -> None:
         self.read_latency = LatencyHistogram()
         self.write_latency = LatencyHistogram()
+        self._request_clock: SimClock | None = None
         self.tracer = Tracer(self.clock, capacity=trace_capacity)
         for dev in (self.local_device, getattr(self, "cloud_store", None)):
             if dev is not None and hasattr(dev, "tracer"):
                 dev.tracer = self.tracer
 
+    # -- per-request clock scoping -----------------------------------------
+
+    @property
+    def op_clock(self) -> SimClock:
+        """The clock timed operations read: the active request's child
+        clock inside a :meth:`request_scope`, the store clock otherwise."""
+        return self._request_clock if self._request_clock is not None else self.clock
+
+    @contextmanager
+    def request_scope(self, clock: SimClock) -> Iterator[SimClock]:
+        """Serve operations on a per-request child clock.
+
+        The open-loop serving layer (:mod:`repro.serve`) gives every
+        in-flight request its own child clock starting at the request's
+        scheduled service time. Inside this scope the storage devices, the
+        tracer (fresh span stack — see :meth:`Tracer.request_scope`), and
+        every facade stopwatch all read that clock, so concurrent requests
+        and background flush/compaction coexist on the fork/join clock
+        without sharing implicit singleton timing state.
+        """
+        with ExitStack() as stack:
+            for dev in (self.local_device, getattr(self, "cloud_store", None)):
+                if dev is not None and hasattr(dev, "clock_scope"):
+                    stack.enter_context(dev.clock_scope(clock))
+            stack.enter_context(self.tracer.request_scope(clock))
+            saved = self._request_clock
+            self._request_clock = clock
+            try:
+                yield clock
+            finally:
+                self._request_clock = saved
+
     # -- KV API -----------------------------------------------------------
 
     def put(self, key: bytes, value: bytes, *, sync: bool = True) -> None:
-        with StopwatchRegion(self.clock) as sw, self.tracer.span("put"):
+        with StopwatchRegion(self.op_clock) as sw, self.tracer.span("put"):
             self.db.put(key, value, sync=sync)
         self.write_latency.record(sw.elapsed)
 
     def delete(self, key: bytes, *, sync: bool = True) -> None:
-        with StopwatchRegion(self.clock) as sw, self.tracer.span("delete"):
+        with StopwatchRegion(self.op_clock) as sw, self.tracer.span("delete"):
             self.db.delete(key, sync=sync)
         self.write_latency.record(sw.elapsed)
 
     def write(self, batch: WriteBatch, *, sync: bool = True) -> None:
-        with StopwatchRegion(self.clock) as sw, self.tracer.span("write"):
+        with StopwatchRegion(self.op_clock) as sw, self.tracer.span("write"):
             self.db.write(batch, sync=sync)
         self.write_latency.record(sw.elapsed)
 
     def get(self, key: bytes, *, snapshot: Snapshot | None = None) -> bytes | None:
-        with StopwatchRegion(self.clock) as sw, self.tracer.span("get"):
+        with StopwatchRegion(self.op_clock) as sw, self.tracer.span("get"):
             value = self.db.get(key, snapshot=snapshot)
         self.read_latency.record(sw.elapsed)
         return value
@@ -80,7 +114,7 @@ class StoreFacade:
         self, keys: list[bytes], *, snapshot: Snapshot | None = None
     ) -> dict[bytes, bytes | None]:
         """Batched point lookups (sequential by default)."""
-        with StopwatchRegion(self.clock) as sw, self.tracer.span("multi_get"):
+        with StopwatchRegion(self.op_clock) as sw, self.tracer.span("multi_get"):
             results = self.db.multi_get(keys, snapshot=snapshot)
         self.read_latency.record(sw.elapsed)
         return results
@@ -91,7 +125,7 @@ class StoreFacade:
         end: bytes | None = None,
         limit: int | None = None,
     ) -> list[tuple[bytes, bytes]]:
-        with StopwatchRegion(self.clock) as sw, self.tracer.span("scan"):
+        with StopwatchRegion(self.op_clock) as sw, self.tracer.span("scan"):
             # Close the generator inside the span: a limited scan's cleanup
             # (version unpin, prefetch-pipeline finish + waste accounting)
             # then runs deterministically here, not at garbage collection.
@@ -111,7 +145,7 @@ class StoreFacade:
         limit: int | None = None,
     ) -> list[tuple[bytes, bytes]]:
         """Descending-order range scan over user keys in [begin, end)."""
-        with StopwatchRegion(self.clock) as sw, self.tracer.span("scan_reverse"):
+        with StopwatchRegion(self.op_clock) as sw, self.tracer.span("scan_reverse"):
             with closing(self.db.scan_reverse(begin, end)) as it:
                 results = []
                 for i, kv in enumerate(it):

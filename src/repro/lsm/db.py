@@ -113,6 +113,16 @@ class DB:
         the pipeline gets ``seek_fanout``/``table_started`` hooks during
         iteration and ``finish`` when the scan ends. Set by store
         variants — the base engine scans without one."""
+        self.maintenance_hook: Callable[[], None] | None = None
+        """Optional deferral hook for write-triggered maintenance. When
+        set, a write that fills the memtable calls this instead of running
+        the flush (and any resulting compactions) inline, and the owner is
+        responsible for calling :meth:`flush` afterwards. The serving
+        layer (:mod:`repro.serve`) uses it to move flush/compaction off
+        the triggering request's latency path and onto the shard's busy
+        timeline, where it surfaces as queueing interference. Explicit
+        :meth:`flush`/:meth:`ingest`/:meth:`compact_range` calls always
+        run maintenance inline regardless of the hook."""
         self.table_cache = TableCache(
             env,
             prefix,
@@ -379,8 +389,11 @@ class DB:
             seq += 1
         self.versions.last_sequence = seq - 1
         if self.memtable.approximate_memory_usage() >= self.options.write_buffer_size:
-            self._flush_memtable()
-            self._maybe_compact()
+            if self.maintenance_hook is not None:
+                self.maintenance_hook()
+            else:
+                self._flush_memtable()
+                self._maybe_compact()
 
     # -- flush ----------------------------------------------------------------------
 

@@ -348,11 +348,11 @@ class RocksMashStore(StoreFacade):
         if width == 1 or len(keys) <= 1:
             return super().multi_get(keys, snapshot=snapshot)
         results: dict[bytes, bytes | None] = {}
-        with StopwatchRegion(self.clock) as sw, self.tracer.span("multi_get"):
+        with StopwatchRegion(self.op_clock) as sw, self.tracer.span("multi_get"):
             for start in range(0, len(keys), width):
                 wave = keys[start : start + width]
                 region = ForkJoinRegion(
-                    self.clock, [self.local_device, self.cloud_store]
+                    self.op_clock, [self.local_device, self.cloud_store]
                 )
                 for key in wave:
                     with region.branch():
@@ -373,7 +373,7 @@ class RocksMashStore(StoreFacade):
         """
         del begin, end  # pruning happens in DB.scan; the pipeline sees files
         prefetcher = ScanPrefetcher(
-            clock=self.clock,
+            clock=self.op_clock,
             hosts=self.env.clock_hosts(),
             tracer=self.tracer,
             table_cache=self.db.table_cache,

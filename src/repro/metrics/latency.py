@@ -99,6 +99,7 @@ class LatencyHistogram:
             "p50": self.percentile(50),
             "p90": self.percentile(90),
             "p99": self.percentile(99),
+            "p999": self.percentile(99.9),
             "max": self.max_seen if self.count else 0.0,
         }
 

@@ -257,6 +257,33 @@ class Tracer:
                 self.dropped_spans += 1
             self.spans.append(span)
 
+    # -- per-request reentrancy --------------------------------------------
+
+    @contextmanager
+    def request_scope(self, clock: SimClock) -> Iterator[SimClock]:
+        """Serve one simulated request on its own clock *and* span stack.
+
+        The open-loop serving layer executes many in-flight requests whose
+        simulated lifetimes overlap; a single shared frame stack would nest
+        their spans into whichever request happened to be executing around
+        them. This scope swaps in a fresh stack (so spans opened inside are
+        roots, parented only to spans of the same request) and points span
+        timestamps at the request's child clock. Totals still accumulate
+        globally; charges made inside with no open span fall back to
+        ``unattributed`` exactly as they do on the shared stack.
+        """
+        saved_clock = self.clock
+        saved_stack = self._stack
+        self.clock = clock
+        self._stack = []
+        try:
+            yield clock
+        finally:
+            for frame in self._stack:  # only non-empty on exception unwind
+                self.unattributed.merge(frame.tiers)
+            self.clock = saved_clock
+            self._stack = saved_stack
+
     # -- fork/join participation -------------------------------------------
 
     @contextmanager

@@ -88,7 +88,34 @@ class TestLatencyHistogram:
     def test_summary_keys(self):
         h = LatencyHistogram()
         h.record(0.001)
-        assert set(h.summary()) == {"count", "mean", "p50", "p90", "p99", "max"}
+        assert set(h.summary()) == {"count", "mean", "p50", "p90", "p99", "p999", "max"}
+
+    def test_summary_p999_between_p99_and_max(self):
+        h = LatencyHistogram()
+        for i in range(1, 10_001):
+            h.record(i / 10_000.0)
+        s = h.summary()
+        assert s["p99"] <= s["p999"] <= s["max"]
+        assert s["p999"] == pytest.approx(0.999, rel=0.1)
+
+    def test_p999_near_100_clamps_to_observed_max(self):
+        # Percentiles in the last bucket must never exceed the true max.
+        h = LatencyHistogram()
+        h.record(0.01)
+        h.record(0.7)
+        for p in (99.0, 99.9, 99.99, 100.0):
+            assert h.percentile(p) <= 0.7 + 1e-12
+        assert h.percentile(99.9) == pytest.approx(0.7)
+
+    def test_single_sample_summary_consistent(self):
+        h = LatencyHistogram()
+        h.record(0.03)
+        s = h.summary()
+        assert s["count"] == 1.0
+        assert s["p50"] == pytest.approx(0.03, rel=0.1)
+        assert s["p999"] == pytest.approx(0.03, rel=0.1)
+        assert s["max"] == pytest.approx(0.03)
+        assert s["p50"] <= s["p90"] <= s["p99"] <= s["p999"] <= s["max"]
 
     def test_merge(self):
         a, b = LatencyHistogram(), LatencyHistogram()

@@ -152,6 +152,100 @@ class TestYCSBRun:
 
         assert run() == run()
 
+    def test_scan_and_rmw_get_their_own_histograms(self):
+        store = make_store()
+        spec = ycsb.YCSBSpec(
+            "mix",
+            read_proportion=0.25,
+            update_proportion=0.25,
+            scan_proportion=0.25,
+            rmw_proportion=0.25,
+            record_count=200,
+            operation_count=200,
+        )
+        result = ycsb.run_workload(store, spec, seed=5)
+        assert result.scan_latency.count == result.op_counts["scan"] > 0
+        assert result.rmw_latency.count == result.op_counts["rmw"] > 0
+        assert result.read_latency.count == result.op_counts["read"] > 0
+        assert (
+            result.update_latency.count
+            == result.op_counts["update"] + result.op_counts["insert"]
+        )
+
+    def test_latency_for_rejects_unknown_kind(self):
+        result = ycsb.YCSBResult("A", "s", 0, 0.0)
+        with pytest.raises(ValueError):
+            result.latency_for("mystery")
+
+
+class TestOpStream:
+    """The deterministic op stream both runners consume (iter_ops)."""
+
+    def test_iter_ops_deterministic(self):
+        spec = ycsb.WORKLOAD_A.scaled(150, 300)
+        assert list(ycsb.iter_ops(spec, seed=9)) == list(ycsb.iter_ops(spec, seed=9))
+
+    def test_iter_ops_seed_changes_stream(self):
+        spec = ycsb.WORKLOAD_A.scaled(150, 300)
+        assert list(ycsb.iter_ops(spec, seed=1)) != list(ycsb.iter_ops(spec, seed=2))
+
+    def test_ops_digest_stable_and_seed_sensitive(self):
+        spec = ycsb.WORKLOAD_F.scaled(100, 200)
+        assert ycsb.ops_digest(spec, seed=3) == ycsb.ops_digest(spec, seed=3)
+        assert ycsb.ops_digest(spec, seed=3) != ycsb.ops_digest(spec, seed=4)
+
+    def test_stream_matches_mix_and_count(self):
+        spec = ycsb.WORKLOAD_E.scaled(200, 400)
+        ops = list(ycsb.iter_ops(spec, seed=6))
+        assert len(ops) == 400
+        kinds = {op.kind for op in ops}
+        assert kinds <= set(ycsb.OP_KINDS)
+        scans = [op for op in ops if op.kind == "scan"]
+        assert scans and all(1 <= op.limit <= spec.max_scan_length for op in scans)
+        inserts = [op for op in ops if op.kind == "insert"]
+        # Inserts extend the keyspace: fresh keys at/above record_count.
+        assert inserts and all(op.key >= make_key(200) for op in inserts)
+
+    def test_run_phase_consumes_identical_stream(self):
+        # The closed-loop runner and a hand-rolled apply_op loop over
+        # iter_ops leave byte-identical store state.
+        spec = ycsb.WORKLOAD_A.scaled(150, 250)
+
+        store_a = make_store()
+        ycsb.load_phase(store_a, spec)
+        ycsb.run_phase(store_a, spec, seed=11)
+
+        store_b = make_store()
+        ycsb.load_phase(store_b, spec)
+        for op in ycsb.iter_ops(spec, seed=11):
+            ycsb.apply_op(store_b, op)
+
+        scan_a = store_a.scan(None, None)
+        assert scan_a == store_b.scan(None, None)
+        assert len(scan_a) >= spec.record_count
+
+    def test_apply_op_rmw_keeps_prefix(self):
+        store = make_store()
+        store.put(b"k", b"A" * 10)
+        op = ycsb.Op("rmw", b"k", value=b"B" * 5, limit=5)
+        ycsb.apply_op(store, op)
+        assert store.get(b"k") == b"A" * 5 + b"B" * 5
+
+    def test_apply_op_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ycsb.apply_op(make_store(), ycsb.Op("nope", b"k"))
+
+    def test_outcome_digest_distinguishes_read_results(self):
+        import hashlib
+
+        def digest(outcome):
+            h = hashlib.sha256()
+            ycsb.outcome_digest_update(h, ycsb.Op("read", b"k"), outcome)
+            return h.hexdigest()
+
+        assert digest(None) != digest(b"")
+        assert digest(b"x") != digest(b"y")
+
 
 class TestDbBench:
     def test_fillseq_and_readseq(self):
