@@ -1,0 +1,80 @@
+"""E23 (extension) — WAL-time key–value separation vs value size.
+
+Expected shape: below the 128 B threshold the separated store is
+byte-identical to the baseline (same write-amp, same cloud PUT traffic,
+same digest — nothing diverts). Above it the WiscKey trade kicks in:
+compaction moves 32 B pointers instead of payloads, so write
+amplification collapses toward 1, compaction-driven cloud PUT bytes
+drop, and throughput rises; at the largest value size the projected
+monthly request bill crosses over in the separated store's favour. The
+``digest`` column proves equivalence — every read and scan outcome
+hashes identically with and without separation at every size.
+
+Writes ``BENCH_e23.json`` so CI archives a machine-readable artifact
+alongside the table.
+"""
+
+import json
+import pathlib
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import e23_bloblog
+
+ARTIFACT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_e23.json"
+
+
+def test_e23_bloblog(benchmark):
+    table = run_experiment(benchmark, e23_bloblog)
+    idx = table.headers.index
+
+    def row_at(size, mode):
+        return next(
+            r
+            for r in table.rows
+            if r[idx("value_B")] == size and r[idx("mode")] == mode
+        )
+
+    sizes = sorted({r[idx("value_B")] for r in table.rows})
+    assert len(sizes) >= 3
+
+    # Observable equivalence at every size (the experiment itself aborts
+    # on divergence; assert it in the artifact too).
+    for size in sizes:
+        assert row_at(size, "baseline")[idx("digest")] == row_at(size, "separated")[
+            idx("digest")
+        ], f"digest diverged at {size} B"
+
+    # Below the threshold nothing diverts: the runs are byte-identical.
+    below = sizes[0]
+    assert row_at(below, "baseline")[2:] == row_at(below, "separated")[2:]
+
+    # Above the threshold the WiscKey trade pays off monotonically more:
+    # lower write amplification and less upload traffic at every size.
+    for size in sizes[1:]:
+        base, sep = row_at(size, "baseline"), row_at(size, "separated")
+        assert sep[idx("write_amp")] < base[idx("write_amp")], size
+        assert sep[idx("cloud_put_MB")] < base[idx("cloud_put_MB")], size
+        assert sep[idx("Kops/s")] > base[idx("Kops/s")], size
+
+    # The advantage is substantial everywhere above the threshold (>2x
+    # write-amp reduction), and at the top end pointer-only compaction
+    # pushes the separated store's amplification toward its floor of 1.
+    for size in sizes[1:]:
+        base, sep = row_at(size, "baseline"), row_at(size, "separated")
+        assert base[idx("write_amp")] > 2 * sep[idx("write_amp")], size
+    assert row_at(sizes[-1], "separated")[idx("write_amp")] < 1.5
+    # At the largest size the request bill crosses over too.
+    largest = sizes[-1]
+    assert (
+        row_at(largest, "separated")[idx("requests_$/mo")]
+        < row_at(largest, "baseline")[idx("requests_$/mo")]
+    )
+
+    # Determinism: a second run reproduces the table exactly.
+    again = e23_bloblog()
+    assert again.rows == table.rows
+
+    payload = table.to_dict()
+    payload["experiment"] = "e23_bloblog"
+    payload["unit"] = "ratios, MB, simulated Kops/s, dollars per month"
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")

@@ -49,7 +49,9 @@ def crashmonkey_config() -> StoreConfig:
     Tiny buffers force flushes and compactions; ``cloud_level=1`` demotes
     every compaction output; 1 KiB multipart parts make those demotions
     multi-part; 4 xWAL shards give multi-shard batches; a small manifest
-    cap forces rewrites mid-run.
+    cap forces rewrites mid-run. Blob separation is on with a 2 KiB
+    segment cap so blob values seal multi-part segments, and hot-key
+    overwrites in the workload drive segments fully dead for GC.
     """
     return StoreConfig(
         options=Options(
@@ -59,6 +61,9 @@ def crashmonkey_config() -> StoreConfig:
             target_file_size_base=2 << 10,
             block_cache_bytes=8 << 10,
             max_manifest_file_size=1 << 10,
+            blob_value_threshold=256,
+            blob_segment_bytes=2 << 10,
+            blob_gc_dead_ratio=0.5,
         ),
         placement=PlacementConfig(cloud_level=1, multipart_part_bytes=1 << 10),
         xwal=XWalConfig(num_shards=4),
@@ -73,11 +78,19 @@ def _value(i: int) -> bytes:
     return f"value-{i:05d}.".encode() * 8
 
 
+def _blob_value(i: int) -> bytes:
+    # 440 B — past the 256 B threshold, so it is diverted to the blob log.
+    return f"blob!-{i:05d}.".encode() * 40
+
+
 def run_workload(store: RocksMashStore, oracle: RecoveryOracle, *, steps: int) -> None:
     """Mixed puts / multi-key batches / deletes, checkpoint at the midpoint.
 
-    Every mutation is routed through the oracle so an interrupting
-    :class:`CrashPointFired` leaves exactly one op in flight.
+    Blob-sized values land on a small hot key set so earlier segments go
+    fully dead as compaction drops the overwritten pointers, giving blob GC
+    segments to rewrite and delete within one run. Every mutation is routed
+    through the oracle so an interrupting :class:`CrashPointFired` leaves
+    exactly one op in flight.
     """
     for i in range(steps):
         if i == steps // 2:
@@ -89,6 +102,8 @@ def run_workload(store: RocksMashStore, oracle: RecoveryOracle, *, steps: int) -
             oracle.write(store, batch)
         elif i % 11 == 5 and i > 20:
             oracle.delete(store, _key(i - 20))
+        elif i % 3 == 0:
+            oracle.put(store, _key(i % 17), _blob_value(i))
         else:
             oracle.put(store, _key(i), _value(i))
 

@@ -1258,6 +1258,142 @@ def e22_sharded_serving(
     return table
 
 
+# --------------------------------------------------------------------------
+# E23 — WAL-time key-value separation (cloud blob value log)
+# --------------------------------------------------------------------------
+
+
+class _UserByteCounter:
+    """Pass-through store wrapper counting exactly the bytes the user wrote."""
+
+    def __init__(self, store) -> None:
+        self.store = store
+        self.user_bytes = 0
+
+    def put(self, key, value, *, sync=True):
+        self.user_bytes += len(key) + len(value)
+        self.store.put(key, value, sync=sync)
+
+    def get(self, key):
+        return self.store.get(key)
+
+    def scan(self, begin=None, end=None, *, limit=None):
+        return self.store.scan(begin, end, limit=limit)
+
+    def flush(self):
+        self.store.flush()
+
+    @property
+    def clock(self):
+        return self.store.clock
+
+
+def e23_bloblog(
+    records: int = 1000,
+    operations: int = 700,
+    value_sizes: tuple[int, ...] = (64, 256, 1024, 4096),
+) -> Table:
+    """Table E23: key–value separation vs value size (the WiscKey trade).
+
+    Update-heavy YCSB-A at each value size, twice per size on the same
+    hybrid config: a non-separated baseline and a blob-separated store
+    (128 B threshold, 64 KiB cloud segments). Reported per run:
+
+    * ``write_amp`` — engine bytes written (flush outputs + compaction
+      outputs + blob appends) over user bytes; separation keeps
+      compaction proportional to keys, so it falls with value size.
+    * ``cloud_put_MB`` — upload traffic (demotions + blob seals); the
+      dominant request-cost driver in the cost model.
+    * ``Kops/s`` and the projected monthly request bill
+      (:mod:`repro.storage.cost`) over the measured run window.
+    * ``digest`` — every read/scan outcome hashed; baseline and separated
+      must agree at every size (the experiment aborts on divergence).
+
+    Below the threshold the two modes are byte-identical; above it the
+    separated store should win on write-amp and cloud PUT bytes — the
+    crossover the paper's WiscKey lineage predicts.
+    """
+    import hashlib
+
+    from repro.mash.store import RocksMashStore, StoreConfig
+
+    table = Table(
+        "E23: WAL-time key-value separation vs value size (YCSB-A)",
+        [
+            "value_B",
+            "mode",
+            "write_amp",
+            "cloud_put_MB",
+            "Kops/s",
+            "requests_$/mo",
+            "digest",
+        ],
+        notes=[
+            "write_amp = (flush + compaction + blob-append bytes) / user bytes",
+            "digest hashes every read/scan outcome; modes must agree per size",
+            "separated: blob_value_threshold=128 B, 64 KiB segments",
+        ],
+    )
+    for value_size in value_sizes:
+        digests: dict[str, str] = {}
+        for mode, threshold in (("baseline", 0), ("separated", 128)):
+            config = StoreConfig().small()
+            config = replace(
+                config,
+                options=replace(
+                    config.options,
+                    blob_value_threshold=threshold,
+                    blob_segment_bytes=64 << 10,
+                ),
+            )
+            store = RocksMashStore.create(config)
+            engine = {"bytes": 0}
+            store.db.listeners.on_flush.append(
+                lambda e, acc=engine: acc.__setitem__(
+                    "bytes", acc["bytes"] + e.meta.file_size
+                )
+            )
+            store.db.listeners.on_compaction.append(
+                lambda e, acc=engine: acc.__setitem__(
+                    "bytes",
+                    acc["bytes"] + sum(o.meta.file_size for o in e.outputs),
+                )
+            )
+            counting = _UserByteCounter(store)
+            spec = replace(ycsb.WORKLOAD_A, value_size=value_size).scaled(
+                records, operations
+            )
+            ycsb.load_phase(counting, spec)
+            hasher = hashlib.sha256()
+            start = store.clock.now
+            for op in ycsb.iter_ops(spec, seed=23):
+                ycsb.outcome_digest_update(hasher, op, ycsb.apply_op(counting, op))
+            window = max(store.clock.now - start, 1e-9)
+            store.flush()
+            blob_bytes = (
+                store.db.blob_store.stats()["bytes_diverted"]
+                if store.db.blob_store is not None
+                else 0
+            )
+            digest = hasher.hexdigest()[:12]
+            digests[mode] = digest
+            table.add_row(
+                value_size,
+                mode,
+                (engine["bytes"] + blob_bytes) / max(counting.user_bytes, 1),
+                store.counters.get("cloud.put_bytes") / (1 << 20),
+                operations / window / 1e3,
+                store.cost_report(window).requests,
+                digest,
+            )
+            store.close()
+        if digests["baseline"] != digests["separated"]:
+            raise AssertionError(
+                f"E23: separated store diverged at value_size={value_size}: {digests}"
+            )
+    return table
+
+
 ALL_EXPERIMENTS = {
     "e1": e1_write_micro,
     "e2": e2_read_micro,
@@ -1283,4 +1419,5 @@ ALL_EXPERIMENTS = {
     "e20": e20_read_anatomy,
     "e21": e21_scan_pipeline,
     "e22": e22_sharded_serving,
+    "e23": e23_bloblog,
 }

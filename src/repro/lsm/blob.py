@@ -1,0 +1,150 @@
+"""Blob pointer and value-log record codecs (WAL-time key-value separation).
+
+Large values are diverted out of the write batch *before* they reach the
+WAL/memtable and appended to a blob-log segment instead; the LSM stores a
+fixed-size :class:`BlobPointer` in their place (BVLSM / WiscKey lineage).
+
+Two wire formats live here, both deliberately self-describing:
+
+Pointer (exactly ``POINTER_SIZE`` bytes, stored as the LSM value)::
+
+    [magic 4B][segment fixed64][offset fixed64][record_len fixed64][value_crc fixed32]
+
+``offset``/``record_len`` locate the *full record* inside the segment, so a
+resolve is a single ranged read. ``value_crc`` is the masked CRC of the user
+value alone, letting the reader validate end-to-end integrity independent of
+the record framing. A raw user value that happens to be pointer-shaped (32
+bytes starting with the magic) is always diverted regardless of threshold,
+so the read path can treat "parses as a pointer" as authoritative.
+
+Blob record (appended to a segment)::
+
+    [record_len fixed32][crc fixed32 over everything after it][seq fixed64]
+    [klen varint][key][value]
+
+Records carry their own key and sequence so a GC scan or fsck can interpret
+a segment with no LSM context, and a torn tail (crash mid-append) is
+detected by framing/CRC and cleanly truncated at recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import CorruptionError
+from repro.util.crc import masked_crc32, verify_masked_crc32
+from repro.util.encoding import (
+    decode_fixed32,
+    decode_fixed64,
+    encode_fixed32,
+    encode_fixed64,
+)
+from repro.util.varint import decode_varint, encode_varint
+
+BLOB_MAGIC = b"\xb1\x0bPT"
+POINTER_SIZE = 32
+
+_RECORD_HEADER = 16  # record_len(4) + crc(4) + seq(8); klen varint follows
+
+
+@dataclass(frozen=True, slots=True)
+class BlobPointer:
+    """Fixed-size stand-in stored in the LSM for a diverted value."""
+
+    segment: int
+    offset: int
+    length: int
+    """Length of the full blob *record* (not just the value)."""
+    value_crc: int
+
+
+@dataclass(frozen=True, slots=True)
+class BlobRecord:
+    """One decoded value-log record."""
+
+    sequence: int
+    key: bytes
+    value: bytes
+    length: int
+    """Encoded length of the record, for walking a segment."""
+
+
+def encode_pointer(pointer: BlobPointer) -> bytes:
+    out = (
+        BLOB_MAGIC
+        + encode_fixed64(pointer.segment)
+        + encode_fixed64(pointer.offset)
+        + encode_fixed64(pointer.length)
+        + encode_fixed32(pointer.value_crc)
+    )
+    assert len(out) == POINTER_SIZE
+    return out
+
+
+def decode_pointer(data: bytes) -> BlobPointer:
+    if len(data) != POINTER_SIZE or data[:4] != BLOB_MAGIC:
+        raise CorruptionError("not a blob pointer")
+    return BlobPointer(
+        segment=decode_fixed64(data, 4),
+        offset=decode_fixed64(data, 12),
+        length=decode_fixed64(data, 20),
+        value_crc=decode_fixed32(data, 28),
+    )
+
+
+def maybe_pointer(value: bytes) -> BlobPointer | None:
+    """Decode ``value`` as a pointer if it is pointer-shaped, else None."""
+    if len(value) != POINTER_SIZE or value[:4] != BLOB_MAGIC:
+        return None
+    return decode_pointer(value)
+
+
+def encode_blob_record(sequence: int, key: bytes, value: bytes) -> bytes:
+    body = encode_fixed64(sequence) + encode_varint(len(key)) + key + value
+    return (
+        encode_fixed32(len(body) + _RECORD_HEADER - 8)
+        + encode_fixed32(masked_crc32(body))
+        + body
+    )
+
+
+def decode_blob_record(data: bytes, offset: int = 0) -> BlobRecord:
+    """Decode the record starting at ``offset``; raises on torn/garbled data."""
+    if offset + 8 > len(data):
+        raise CorruptionError("blob record truncated before header")
+    record_len = decode_fixed32(data, offset)
+    if record_len < _RECORD_HEADER or offset + record_len > len(data):
+        raise CorruptionError("blob record truncated")
+    stored_crc = decode_fixed32(data, offset + 4)
+    body = data[offset + 8 : offset + record_len]
+    if not verify_masked_crc32(body, stored_crc):
+        raise CorruptionError("blob record checksum mismatch")
+    sequence = decode_fixed64(body, 0)
+    klen, pos = decode_varint(body, 8)
+    if pos + klen > len(body):
+        raise CorruptionError("blob record key overruns body")
+    key = body[pos : pos + klen]
+    value = body[pos + klen :]
+    return BlobRecord(sequence=sequence, key=key, value=value, length=record_len)
+
+
+def iter_blob_records(data: bytes) -> Iterator[tuple[int, BlobRecord]]:
+    """Yield ``(offset, record)`` for every valid record; raises on a bad one."""
+    offset = 0
+    while offset < len(data):
+        record = decode_blob_record(data, offset)
+        yield offset, record
+        offset += record.length
+
+
+def valid_prefix_length(data: bytes) -> int:
+    """Length of the longest clean record prefix (torn-tail truncation point)."""
+    offset = 0
+    while offset < len(data):
+        try:
+            record = decode_blob_record(data, offset)
+        except CorruptionError:
+            break
+        offset += record.length
+    return offset

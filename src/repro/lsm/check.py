@@ -9,9 +9,13 @@ Walks a database without opening it for writes and verifies:
   index, filter), all block checksums verify, entries are in strictly
   increasing internal-key order inside the recorded [smallest, largest]
   bounds, and the bloom filter matches every stored key;
+* every MANIFEST-recorded blob segment exists, has the recorded size, and
+  every record in it parses with a valid checksum;
+* every blob pointer stored in a live table resolves to a record boundary
+  in a MANIFEST-recorded segment with matching length and value checksum;
 * WAL generations scan cleanly (a torn tail is a *warning* — crash-legal —
   mid-log corruption is an error);
-* unreferenced table/manifest files are reported as orphans (warnings).
+* unreferenced table/manifest/blob files are reported as orphans (warnings).
 
 Used by tests, by the reliability experiments, and as a
 ``python -m repro.lsm.check``-style library entry point for debugging.
@@ -22,12 +26,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import CorruptionError, NotFoundError, ReproError
-from repro.lsm.format import parse_file_name, table_file_name
+from repro.lsm.blob import BlobPointer, iter_blob_records, maybe_pointer
+from repro.lsm.format import blob_file_name, parse_file_name, table_file_name
 from repro.lsm.options import Options
 from repro.lsm.table_reader import TableReader
 from repro.lsm.version import VersionSet
 from repro.lsm.wal import LogReader
 from repro.storage.env import Env
+from repro.util.crc import masked_crc32
 from repro.util.encoding import compare_internal, extract_user_key
 
 
@@ -40,6 +46,8 @@ class CheckReport:
     tables_checked: int = 0
     entries_checked: int = 0
     wal_files_checked: int = 0
+    blob_segments_checked: int = 0
+    blob_pointers_checked: int = 0
     orphans: list[str] = field(default_factory=list)
 
     @property
@@ -57,14 +65,27 @@ class CheckReport:
         return (
             f"check: {status} — {self.tables_checked} tables,"
             f" {self.entries_checked} entries, {self.wal_files_checked} WAL files,"
+            f" {self.blob_segments_checked} blob segment(s),"
+            f" {self.blob_pointers_checked} blob pointer(s),"
             f" {len(self.orphans)} orphan(s), {len(self.warnings)} warning(s)"
         )
 
 
 def check_table(
-    env: Env, name: str, options: Options, report: CheckReport, *, meta=None
+    env: Env,
+    name: str,
+    options: Options,
+    report: CheckReport,
+    *,
+    meta=None,
+    blob_refs: list[tuple[str, BlobPointer]] | None = None,
 ) -> None:
-    """Verify one SSTable file end to end."""
+    """Verify one SSTable file end to end.
+
+    When ``blob_refs`` is given, every pointer-shaped value is collected as
+    ``(table_name, pointer)`` for the caller to cross-check against the
+    manifest's blob segments.
+    """
     try:
         reader = TableReader(options, env.new_random_access_file(name))
     except (CorruptionError, NotFoundError, ReproError) as exc:
@@ -74,7 +95,7 @@ def check_table(
     first_key: bytes | None = None
     count = 0
     try:
-        for ikey, _value in reader:
+        for ikey, value in reader:
             if first_key is None:
                 first_key = ikey
             if prev_key is not None and compare_internal(prev_key, ikey) >= 0:
@@ -83,6 +104,10 @@ def check_table(
             if not reader.may_contain(extract_user_key(ikey)):
                 report.error(f"{name}: bloom filter misses a stored key (false negative)")
                 return
+            if blob_refs is not None:
+                pointer = maybe_pointer(value)
+                if pointer is not None:
+                    blob_refs.append((name, pointer))
             prev_key = ikey
             count += 1
     except CorruptionError as exc:
@@ -108,6 +133,63 @@ def check_table(
     report.tables_checked += 1
 
 
+def check_blob_segments(
+    env: Env,
+    prefix: str,
+    versions: VersionSet,
+    blob_refs: list[tuple[str, BlobPointer]],
+    report: CheckReport,
+) -> None:
+    """Verify MANIFEST-recorded blob segments and cross-check table pointers."""
+    records: dict[int, dict[int, tuple[int, int]]] = {}
+    for number, (total, dead) in sorted(versions.blob_segments.items()):
+        name = blob_file_name(prefix, number)
+        if not env.file_exists(name):
+            report.error(f"{name}: blob segment in manifest but missing on storage")
+            continue
+        if dead > total:
+            report.error(f"{name}: dead bytes {dead} exceed segment total {total}")
+        try:
+            data = env.read_file(name)
+        except ReproError as exc:
+            report.error(f"{name}: unreadable blob segment: {exc}")
+            continue
+        if len(data) != total:
+            report.error(f"{name}: size {len(data)} != manifest's {total}")
+            continue
+        boundaries: dict[int, tuple[int, int]] = {}
+        try:
+            for offset, record in iter_blob_records(data):
+                boundaries[offset] = (record.length, masked_crc32(record.value))
+        except CorruptionError as exc:
+            report.error(f"{name}: corrupt blob record: {exc}")
+            continue
+        records[number] = boundaries
+        report.blob_segments_checked += 1
+
+    for table_name, pointer in blob_refs:
+        report.blob_pointers_checked += 1
+        if pointer.segment not in versions.blob_segments:
+            report.error(
+                f"{table_name}: pointer into segment {pointer.segment}"
+                " which is not in the manifest (dangling)"
+            )
+            continue
+        boundaries = records.get(pointer.segment, {})
+        found = boundaries.get(pointer.offset)
+        if found is None:
+            report.error(
+                f"{table_name}: pointer offset {pointer.offset} is not a record"
+                f" boundary in segment {pointer.segment}"
+            )
+        elif found != (pointer.length, pointer.value_crc):
+            report.error(
+                f"{table_name}: pointer into segment {pointer.segment} at"
+                f" {pointer.offset} disagrees with the stored record"
+                " (length or value checksum mismatch)"
+            )
+
+
 def check_db(env: Env, prefix: str, options: Options | None = None) -> CheckReport:
     """Run a full offline consistency check of the DB under ``prefix``."""
     options = options or Options()
@@ -128,12 +210,15 @@ def check_db(env: Env, prefix: str, options: Options | None = None) -> CheckRepo
         report.error(f"version invariant violated: {exc}")
 
     live_numbers = versions.current.live_file_numbers()
+    blob_refs: list[tuple[str, BlobPointer]] = []
     for level, meta in versions.current.all_files():
         name = table_file_name(prefix, meta.number)
         if not env.file_exists(name):
             report.error(f"{name}: live at L{level} but missing on storage")
             continue
-        check_table(env, name, options, report, meta=meta)
+        check_table(env, name, options, report, meta=meta, blob_refs=blob_refs)
+
+    check_blob_segments(env, prefix, versions, blob_refs, report)
 
     for name in env.list_files(prefix):
         parsed = parse_file_name(prefix, name)
@@ -147,6 +232,11 @@ def check_db(env: Env, prefix: str, options: Options | None = None) -> CheckRepo
         elif kind == "manifest" and number != versions.manifest_number:
             report.orphans.append(name)
             report.warn(f"{name}: orphan manifest")
+        elif kind == "blob" and number not in versions.blob_segments:
+            # Crash-legal: an active (WAL-referenced) segment or a leftover
+            # local shadow of an uploaded one; recovery reconciles these.
+            report.orphans.append(name)
+            report.warn(f"{name}: orphan blob segment (not in manifest)")
         elif kind in ("log", "xlog"):
             reader = LogReader(env.read_file(name))
             records = sum(1 for _ in reader)

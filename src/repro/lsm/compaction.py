@@ -41,6 +41,7 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from repro.lsm.blob import maybe_pointer
 from repro.lsm.format import table_file_name
 from repro.lsm.iterator import merge_internal
 from repro.lsm.options import Options
@@ -144,6 +145,9 @@ class CompactionStats:
     coalesced_fetches: int = 0
     """Readahead range requests issued for compaction inputs."""
     coalesced_fetched_bytes: int = 0
+    blob_bytes_dropped: int = 0
+    """Blob-record bytes whose pointers compactions dropped (the blob GC's
+    dead-byte feed)."""
 
 
 def pick_subcompaction_boundaries(
@@ -263,6 +267,7 @@ class CompactionJob:
         smallest_snapshot: int = MAX_SEQUENCE,
         newest_snapshot: int = 0,
         listener: CompactionListener | None = None,
+        blob_drops: dict[int, int] | None = None,
     ) -> VersionEdit:
         """Merge inputs, write outputs, and return the edit (not committed).
 
@@ -270,6 +275,11 @@ class CompactionJob:
         read; entries required by it are preserved. ``newest_snapshot`` is
         the youngest live snapshot (0 = none): the user compaction filter
         only touches entries *no* snapshot can still observe.
+
+        ``blob_drops``, when provided, accumulates the record bytes of every
+        dropped blob pointer per segment number — the blob GC's dead-byte
+        feed. Drops respect snapshots, so a pointer counted here is provably
+        unreachable by any reader.
         """
         edit = VersionEdit()
         for meta in compaction.inputs:
@@ -314,6 +324,7 @@ class CompactionJob:
                         smallest_snapshot=smallest_snapshot,
                         newest_snapshot=newest_snapshot,
                         clock=child,
+                        blob_drops=blob_drops,
                     )
                 outputs.extend(part_outputs)
                 dropped += part_dropped
@@ -329,6 +340,7 @@ class CompactionJob:
                     smallest_snapshot=smallest_snapshot,
                     newest_snapshot=newest_snapshot,
                     clock=clock,
+                    blob_drops=blob_drops,
                 )
                 outputs.extend(part_outputs)
                 dropped += part_dropped
@@ -383,6 +395,7 @@ class CompactionJob:
         smallest_snapshot: int,
         newest_snapshot: int,
         clock: SimClock | None,
+        blob_drops: dict[int, int] | None = None,
     ) -> tuple[list[CompactionOutput], int]:
         """Merge the inputs restricted to user keys in ``[lo, hi)``.
 
@@ -475,6 +488,7 @@ class CompactionJob:
 
             if drop:
                 dropped += 1
+                self._account_blob_drop(parsed.value_type, value, blob_drops)
                 continue
 
             user_filter = self.options.compaction_filter
@@ -488,6 +502,7 @@ class CompactionJob:
                 # can vanish outright; elsewhere it becomes a tombstone so
                 # older buried versions stay hidden.
                 self.stats.entries_filtered += 1
+                self._account_blob_drop(parsed.value_type, value, blob_drops)
                 if compaction.allow_tombstone_drop and version.is_base_level_for_key(
                     compaction.output_level, parsed.user_key
                 ):
@@ -510,3 +525,15 @@ class CompactionJob:
             self.stats.coalesced_fetches += buffer.stats.fetches
             self.stats.coalesced_fetched_bytes += buffer.stats.fetched_bytes
         return outputs, dropped
+
+    def _account_blob_drop(
+        self, value_type: int, value: bytes, blob_drops: dict[int, int] | None
+    ) -> None:
+        """Credit a dropped blob pointer's record bytes to its segment."""
+        if blob_drops is None or value_type != TYPE_VALUE:
+            return
+        pointer = maybe_pointer(value)
+        if pointer is None:
+            return
+        blob_drops[pointer.segment] = blob_drops.get(pointer.segment, 0) + pointer.length
+        self.stats.blob_bytes_dropped += pointer.length

@@ -26,6 +26,7 @@ from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
 
 from repro.errors import ClosedError, InvalidArgumentError, RecoveryError
+from repro.lsm.blob import maybe_pointer
 from repro.lsm.block_cache import LRUBlockCache
 from repro.lsm.compaction import (
     CompactionEvent,
@@ -147,6 +148,11 @@ class DB:
         self.orphans_purged = 0
         self._pinned_versions: list = []
         self._deferred_deletes: set[int] = set()
+        self._deferred_blob_deletes: set[int] = set()
+        self.blob_store = self._open_blob_store()
+        """Key-value separation backend (see :mod:`repro.mash.bloblog`);
+        None in the base engine. Subclasses with a hybrid env override
+        :meth:`_open_blob_store` to enable it."""
 
     # -- loader composition -------------------------------------------------
 
@@ -223,6 +229,14 @@ class DB:
     def _check_open(self) -> None:
         if self._closed:
             raise ClosedError("database is closed")
+
+    def _open_blob_store(self):
+        """Build the blob value log when key-value separation is enabled.
+
+        The base engine has no cloud tier to seal segments into, so it
+        never separates; :class:`repro.mash.store.MashDB` overrides this.
+        """
+        return None
 
     # -- WAL strategy (overridden by the extended-WAL store) -----------------
 
@@ -301,6 +315,13 @@ class DB:
             max_seq, _ = self._replay_wal(number)
             replayed_max = max(replayed_max, max_seq)
         self.versions.last_sequence = max(self.versions.last_sequence, replayed_max)
+        if self.blob_store is not None:
+            # Reconcile blob segment files against the recovered MANIFEST:
+            # referenced-but-unrecorded segments (a crashed active segment or
+            # interrupted seal) are truncated to their clean prefix and
+            # re-sealed; unreferenced ones are abandoned uploads/GC orphans
+            # and are deleted.
+            self.blob_store.recover(listing, list(self.memtable))
         # Memtable contents re-enter a fresh WAL generation via flush if big
         # enough, otherwise they ride along in the new log's lifetime.
         self._rotate_wal()
@@ -381,6 +402,11 @@ class DB:
         if len(batch) == 0:
             return
         batch.sequence = self.versions.last_sequence + 1
+        if self.blob_store is not None:
+            # Key-value separation happens *before* the WAL append: large
+            # values go to the blob log and the WAL/memtable/SSTables only
+            # ever see fixed-size pointers.
+            batch = self.blob_store.divert_batch(batch, sync=sync)
         assert self._wal is not None
         self._wal.add_record(batch.encode(), sync=sync)
         seq = batch.sequence
@@ -465,6 +491,10 @@ class DB:
             self._maybe_compact()
 
     def _flush_memtable(self) -> None:
+        if self.blob_store is not None:
+            # Seal first: the SSTable this flush writes must only reference
+            # durable, MANIFEST-recorded blob segments.
+            self.blob_store.on_flush_begin()
         number = self.versions.new_file_number()
         name = table_file_name(self.prefix, number)
         builder = TableBuilder(self.options, self.env.new_writable_file(name))
@@ -532,6 +562,23 @@ class DB:
         for number in sorted(self._deferred_deletes - protected):
             self._deferred_deletes.discard(number)
             self._delete_table_file(number)
+        if self.blob_store is not None and not self._pinned_versions:
+            for number in sorted(self._deferred_blob_deletes):
+                self._deferred_blob_deletes.discard(number)
+                self.blob_store.delete_segment_file(number)
+
+    def drop_blob_segment(self, number: int) -> None:
+        """Physically unlink a GC'd blob segment.
+
+        Deferred while any version is pinned: a live iterator may still hold
+        an old pointer into the segment and must be able to resolve it (the
+        MANIFEST record is already gone either way; a crash before the
+        physical delete leaves an orphan that recovery collects).
+        """
+        if self._pinned_versions:
+            self._deferred_blob_deletes.add(number)
+            return
+        self.blob_store.delete_segment_file(number)
 
     def _smallest_snapshot(self) -> int:
         if self._snapshots:
@@ -543,8 +590,10 @@ class DB:
         while True:
             compaction = self._picker.pick(self.versions.current)
             if compaction is None:
-                return
+                break
             self._run_compaction(compaction)
+        if self.blob_store is not None:
+            self.blob_store.run_gc(self)
 
     def compact_range(self, begin: bytes | None = None, end: bytes | None = None) -> None:
         """Manually compact every level overlapping [begin, end].
@@ -583,6 +632,8 @@ class DB:
                     )
                 )
                 break
+        if self.blob_store is not None:
+            self.blob_store.run_gc(self)
 
     def _run_compaction(self, compaction) -> None:
         job = CompactionJob(
@@ -598,13 +649,21 @@ class DB:
             for hook in self.listeners.on_compaction:
                 hook(event)
 
+        blob_drops: dict[int, int] | None = (
+            {} if self.blob_store is not None else None
+        )
         edit = job.run(
             compaction,
             self.versions.current,
             smallest_snapshot=self._smallest_snapshot(),
             newest_snapshot=max(self._snapshots, default=0),
             listener=listener,
+            blob_drops=blob_drops,
         )
+        if blob_drops:
+            # Dead-byte increments commit in the same edit as the drops, so
+            # the MANIFEST's GC state is exact across crashes.
+            self.blob_store.fold_dead_into_edit(blob_drops, edit)
         crash_points.reach("compaction.after_outputs")
         self.versions.log_and_apply(edit)
         crash_points.reach("compaction.before_input_delete")
@@ -632,6 +691,19 @@ class DB:
         """Point lookup; returns None when absent or deleted."""
         self._check_open()
         sequence = snapshot.sequence if snapshot else self.versions.last_sequence
+        value = self._get_at(key, sequence)
+        return self._resolve_value(key, value)
+
+    def stored_value(self, key: bytes) -> bytes | None:
+        """The newest raw stored value (blob pointers left unresolved).
+
+        The blob-log GC uses this to check whether a segment record is still
+        the live version of its key without paying a resolution round trip.
+        """
+        self._check_open()
+        return self._get_at(key, self.versions.last_sequence)
+
+    def _get_at(self, key: bytes, sequence: int) -> bytes | None:
         result = self.memtable.get(key, sequence)
         if result.state == GetResult.FOUND:
             return result.value
@@ -651,6 +723,25 @@ class DB:
                 return None
             return value
         return None
+
+    def _resolve_value(self, key: bytes, value: bytes | None) -> bytes | None:
+        if value is None or self.blob_store is None:
+            return value
+        pointer = maybe_pointer(value)
+        if pointer is None:
+            return value
+        return self.blob_store.resolve(pointer, key)
+
+    def _resolve_entries(self, entries):
+        """Lazily resolve blob pointers in a scan's (key, value) stream."""
+        if self.blob_store is None:
+            yield from entries
+            return
+        for key, value in entries:
+            pointer = maybe_pointer(value)
+            if pointer is not None:
+                value = self.blob_store.resolve(pointer, key)
+            yield key, value
 
     def multi_get(
         self, keys: list[bytes], *, snapshot: Snapshot | None = None
@@ -708,7 +799,9 @@ class DB:
                 if files:
                     sources.append(self._level_iter(files, seek_key, pipeline))
             merged = merge_internal(sources)
-            yield from clamp_to_range(visible_user_entries(merged, sequence), begin, end)
+            yield from self._resolve_entries(
+                clamp_to_range(visible_user_entries(merged, sequence), begin, end)
+            )
         finally:
             if pipeline is not None:
                 pipeline.finish()
@@ -746,8 +839,10 @@ class DB:
                 if files:
                     sources.append(self._level_reverse_iter(files))
             merged = merge_internal_reverse(sources)
-            yield from clamp_to_range_reverse(
-                visible_user_entries_reverse(merged, sequence), begin, end
+            yield from self._resolve_entries(
+                clamp_to_range_reverse(
+                    visible_user_entries_reverse(merged, sequence), begin, end
+                )
             )
         finally:
             self._unpin_version(version)
@@ -816,6 +911,7 @@ class DB:
         * ``manifest-bytes`` — current MANIFEST size (int)
         * ``num-snapshots`` — live snapshots (int)
         * ``block-cache-hit-ratio`` — DRAM cache hit ratio (float)
+        * ``blob-stats`` — blob value-log counters (str)
         * ``compaction-stats`` — human-readable summary (str)
         * ``levels`` — human-readable per-level table (str)
         * ``stats`` — combined dump: levels + compaction + misc (str)
@@ -848,6 +944,12 @@ class DB:
             return len(self._snapshots)
         if key == "block-cache-hit-ratio":
             return self.block_cache.hit_ratio if self.block_cache else 0.0
+        if key == "blob-stats":
+            if self.blob_store is None:
+                return "blob log disabled"
+            return " ".join(
+                f"{k}={v}" for k, v in self.blob_store.stats().items()
+            )
         if key == "compaction-stats":
             s = self.compaction_stats
             return (

@@ -188,6 +188,10 @@ def xlog_file_name(prefix: str, number: int, shard: int) -> str:
     return f"{prefix}{number:06d}-{shard:02d}.xlog"
 
 
+def blob_file_name(prefix: str, number: int) -> str:
+    return f"{prefix}{number:06d}.blob"
+
+
 def manifest_file_name(prefix: str, number: int) -> str:
     return f"{prefix}MANIFEST-{number:06d}"
 
@@ -199,7 +203,8 @@ def current_file_name(prefix: str) -> str:
 def parse_file_name(prefix: str, name: str) -> tuple[str, int] | None:
     """Classify a file name; returns ``(kind, number)`` or None.
 
-    Kinds: ``"log"``, ``"table"``, ``"manifest"``, ``"current"`` (number 0).
+    Kinds: ``"log"``, ``"table"``, ``"blob"``, ``"manifest"``, ``"current"``
+    (number 0).
     """
     if not name.startswith(prefix):
         return None
@@ -227,6 +232,11 @@ def parse_file_name(prefix: str, name: str) -> tuple[str, int] | None:
     if rest.endswith(".sst"):
         try:
             return ("table", int(rest[:-4]))
+        except ValueError:
+            return None
+    if rest.endswith(".blob"):
+        try:
+            return ("blob", int(rest[:-5]))
         except ValueError:
             return None
     return None

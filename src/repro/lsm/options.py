@@ -109,6 +109,23 @@ class Options:
     and *older* shadowed versions of the key are judged at their own
     compactions — so a filter that flip-flops would resurrect stale data."""
 
+    # Key-value separation (WAL-time blob log; see repro.mash.bloblog)
+    blob_value_threshold: int = 0
+    """Values at least this many bytes are diverted at WAL-append time into
+    an append-only blob log and the LSM stores a fixed 32-byte pointer
+    instead; 0 disables separation. Once a store has written pointers, it
+    must not be reopened with separation disabled — the pointers would be
+    returned verbatim."""
+
+    blob_segment_bytes: int = 4 << 20
+    """Seal and upload the active blob segment once it reaches this size
+    (flushes also seal it, so SSTables only reference durable segments)."""
+
+    blob_gc_dead_ratio: float = 0.5
+    """Rewrite a sealed segment's live residue once compaction-dropped
+    bytes reach this fraction of the segment; 1.0 = only reclaim segments
+    that are entirely dead."""
+
     # Caching
     block_cache_bytes: int = 8 << 20
     """In-memory (DRAM) block cache budget; 0 disables it."""
@@ -146,6 +163,12 @@ class Options:
             raise ValueError("compaction_readahead_bytes must be >= 0")
         if self.scan_prefetch_depth < 0:
             raise ValueError("scan_prefetch_depth must be >= 0")
+        if self.blob_value_threshold < 0:
+            raise ValueError("blob_value_threshold must be >= 0")
+        if self.blob_segment_bytes <= 0:
+            raise ValueError("blob_segment_bytes must be positive")
+        if not 0.0 < self.blob_gc_dead_ratio <= 1.0:
+            raise ValueError("blob_gc_dead_ratio must be in (0, 1]")
         if self.bloom_bits_per_key:
             self.filter_policy = BloomFilterPolicy(bits_per_key=self.bloom_bits_per_key)
 

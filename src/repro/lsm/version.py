@@ -31,6 +31,8 @@ _TAG_NEXT_FILE = 2
 _TAG_LAST_SEQUENCE = 3
 _TAG_DELETED_FILE = 4
 _TAG_NEW_FILE = 5
+_TAG_BLOB_SEGMENT = 6
+_TAG_BLOB_SEGMENT_DELETE = 7
 
 
 @dataclass(frozen=True)
@@ -71,12 +73,23 @@ class VersionEdit:
     last_sequence: int | None = None
     deleted_files: set[tuple[int, int]] = field(default_factory=set)  # (level, number)
     new_files: list[tuple[int, FileMetaData]] = field(default_factory=list)
+    blob_segments: list[tuple[int, int, int]] = field(default_factory=list)
+    """Blob-segment upserts: (number, total_bytes, dead_bytes). The GC's
+    dead-byte counters ride the same edit as the compaction that dropped the
+    pointers, so recovery replays them exactly."""
+    deleted_blob_segments: set[int] = field(default_factory=set)
 
     def add_file(self, level: int, meta: FileMetaData) -> None:
         self.new_files.append((level, meta))
 
     def delete_file(self, level: int, number: int) -> None:
         self.deleted_files.add((level, number))
+
+    def set_blob_segment(self, number: int, total: int, dead: int) -> None:
+        self.blob_segments.append((number, total, dead))
+
+    def delete_blob_segment(self, number: int) -> None:
+        self.deleted_blob_segments.add(number)
 
     def encode(self) -> bytes:
         out = bytearray()
@@ -95,6 +108,11 @@ class VersionEdit:
             out += encode_varint(meta.file_size)
             put_length_prefixed(out, meta.smallest)
             put_length_prefixed(out, meta.largest)
+        for number, total, dead in self.blob_segments:
+            out += encode_varint(_TAG_BLOB_SEGMENT)
+            out += encode_varint(number) + encode_varint(total) + encode_varint(dead)
+        for number in sorted(self.deleted_blob_segments):
+            out += encode_varint(_TAG_BLOB_SEGMENT_DELETE) + encode_varint(number)
         return bytes(out)
 
     @classmethod
@@ -120,6 +138,14 @@ class VersionEdit:
                 smallest, pos = get_length_prefixed(data, pos)
                 largest, pos = get_length_prefixed(data, pos)
                 edit.add_file(level, FileMetaData(number, size, smallest, largest))
+            elif tag == _TAG_BLOB_SEGMENT:
+                number, pos = decode_varint(data, pos)
+                total, pos = decode_varint(data, pos)
+                dead, pos = decode_varint(data, pos)
+                edit.set_blob_segment(number, total, dead)
+            elif tag == _TAG_BLOB_SEGMENT_DELETE:
+                number, pos = decode_varint(data, pos)
+                edit.delete_blob_segment(number)
             else:
                 raise CorruptionError(f"unknown VersionEdit tag {tag}")
         return edit
@@ -267,6 +293,8 @@ class VersionSet:
         self.prefix = prefix
         self.options = options
         self.current = Version(options.num_levels)
+        self.blob_segments: dict[int, tuple[int, int]] = {}
+        """Sealed blob-log segments: number -> (total_bytes, dead_bytes)."""
         self.next_file_number = 2  # 1 is reserved for the first manifest
         self.last_sequence = 0
         self.log_number = 0
@@ -309,9 +337,11 @@ class VersionSet:
         version = Version(self.options.num_levels)
         reader = read_log_file(self.env, name)
         applied = 0
+        self.blob_segments = {}
         for record in reader:
             edit = VersionEdit.decode(record)
             version = version.apply(edit)
+            self._apply_blob(edit)
             if edit.log_number is not None:
                 self.log_number = edit.log_number
             if edit.next_file_number is not None:
@@ -328,6 +358,7 @@ class VersionSet:
         max_ref = max(
             [self.log_number, manifest_number]
             + [meta.number for _, meta in version.all_files()]
+            + list(self.blob_segments)
         )
         self.next_file_number = max(self.next_file_number, max_ref + 1)
         # Reopen the manifest for appending new edits.
@@ -352,6 +383,13 @@ class VersionSet:
             self.last_sequence = max(self.last_sequence, edit.last_sequence)
         self._manifest.add_record(edit.encode())
         self.current = self.current.apply(edit)
+        self._apply_blob(edit)
+
+    def _apply_blob(self, edit: VersionEdit) -> None:
+        for number, total, dead in edit.blob_segments:
+            self.blob_segments[number] = (total, dead)
+        for number in edit.deleted_blob_segments:
+            self.blob_segments.pop(number, None)
 
     def manifest_bytes(self) -> int:
         """Current manifest size — the metadata-overhead metric of E5."""
@@ -385,6 +423,8 @@ class VersionSet:
         )
         for level, meta in self.current.all_files():
             snapshot.add_file(level, meta)
+        for number, (total, dead) in sorted(self.blob_segments.items()):
+            snapshot.set_blob_segment(number, total, dead)
         writer.add_record(snapshot.encode())
         crash_points.reach("manifest.rewrite_before_current")
         self.env.write_file(current_file_name(self.prefix), f"{new_number}".encode())

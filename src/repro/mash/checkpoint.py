@@ -15,6 +15,7 @@ Checkpoint layout in the object store::
 
     checkpoints/<name>/MANIFEST        one framed VersionEdit snapshot
     checkpoints/<name>/NNNNNN.sst      copies of every live table
+    checkpoints/<name>/NNNNNN.blob     copies of every live blob segment
 """
 
 from __future__ import annotations
@@ -23,6 +24,7 @@ from dataclasses import dataclass
 
 from repro.errors import NotFoundError, RecoveryError
 from repro.lsm.format import (
+    blob_file_name,
     current_file_name,
     manifest_file_name,
     table_file_name,
@@ -61,6 +63,10 @@ def _checkpoint_table_key(name: str, number: int) -> str:
     return f"{CHECKPOINT_PREFIX}{name}/{number:06d}.sst"
 
 
+def _checkpoint_blob_key(name: str, number: int) -> str:
+    return f"{CHECKPOINT_PREFIX}{name}/{number:06d}.blob"
+
+
 def create_checkpoint(store, name: str) -> CheckpointInfo:
     """Snapshot a RocksMash store into the cloud under ``name``.
 
@@ -97,6 +103,21 @@ def create_checkpoint(store, name: str) -> CheckpointInfo:
         count += 1
         # Some tables copied, manifest absent: the partial checkpoint must
         # be invisible to list/restore and harmless to the live store.
+        crash_points.reach("checkpoint.mid_copy")
+
+    # Blob segments referenced by the snapshotted tables ride along; the
+    # flush above sealed the active segment, so every live pointer targets
+    # a manifest-recorded (cloud-resident) segment.
+    for number, (seg_total, seg_dead) in sorted(store.db.versions.blob_segments.items()):
+        snapshot.set_blob_segment(number, seg_total, seg_dead)
+        src = blob_file_name(store.db.prefix, number)
+        dst = _checkpoint_blob_key(name, number)
+        if store.env.tier_of(src) == CLOUD:
+            cloud.copy(src, dst)  # server-side, no egress
+        else:
+            cloud.put(dst, store.env.read_file(src))
+            uploaded += seg_total
+        total += seg_total
         crash_points.reach("checkpoint.mid_copy")
 
     crash_points.reach("checkpoint.before_manifest")
@@ -172,9 +193,12 @@ def restore_checkpoint(
     )
 
     prefix = config.db_prefix
-    # Tables: cheap server-side copies into the new namespace.
+    # Tables and blob segments: cheap server-side copies into the new
+    # namespace (the snapshot's blob entries make recovery adopt them).
     for _level, meta in snapshot.new_files:
         cloud.copy(_checkpoint_table_key(name, meta.number), table_file_name(prefix, meta.number))
+    for number, _total, _dead in snapshot.blob_segments:
+        cloud.copy(_checkpoint_blob_key(name, number), blob_file_name(prefix, number))
     # Fabricate the metadata chain on the local device.
     manifest_number = snapshot.next_file_number or 1
     snapshot.next_file_number = manifest_number + 1

@@ -106,10 +106,41 @@ class StoreConfig:
 class MashDB(DB):
     """DB with the extended WAL plugged into the WAL strategy hooks."""
 
-    def __init__(self, *args, xwal_config: XWalConfig, local_device: LocalDevice, **kw):
+    def __init__(
+        self,
+        *args,
+        xwal_config: XWalConfig,
+        local_device: LocalDevice,
+        placement_config: PlacementConfig | None = None,
+        blob_pcache: PersistentCache | None = None,
+        **kw,
+    ):
         self._xwal_config = xwal_config
         self._local_device = local_device
+        self._placement_config = placement_config
+        self._blob_pcache = blob_pcache
         super().__init__(*args, **kw)
+
+    def _open_blob_store(self):
+        if self.options.blob_value_threshold <= 0:
+            return None
+        # Late import: bloblog imports lsm modules this module also pulls in.
+        from repro.mash.bloblog import BlobLog
+
+        part_bytes = (
+            self._placement_config.multipart_part_bytes
+            if self._placement_config is not None
+            else PlacementConfig().multipart_part_bytes
+        )
+        return BlobLog(
+            self.env,
+            self.prefix,
+            self.versions,
+            self.options,
+            self._local_device,
+            part_bytes=part_bytes,
+            pcache=self._blob_pcache,
+        )
 
     def _open_wal(self, number: int):
         return XWalWriter(
@@ -178,6 +209,8 @@ class RocksMashStore(StoreFacade):
                 footer_source=self._footer_source,
                 xwal_config=config.xwal,
                 local_device=local_device,
+                placement_config=config.placement,
+                blob_pcache=self.pcache,
             )
         self.last_recovery_seconds = sw.elapsed
         self.db.block_fetch_hook = self._on_block_fetch
@@ -575,6 +608,13 @@ class RocksMashStore(StoreFacade):
             f" / {self.counters.get('cloud.put_bytes'):,} B;"
             f" retries {self.counters.get('cloud.retries'):,}",
         ]
+        if self.db.blob_store is not None:
+            lines.extend(
+                [
+                    "-- blob value log --",
+                    f"  {self.db.get_property('repro.blob-stats')}",
+                ]
+            )
         return "\n".join(lines)
 
     def stats(self) -> dict:
@@ -592,4 +632,5 @@ class RocksMashStore(StoreFacade):
             "cloud_get_ops": self.counters.get("cloud.get_ops"),
             "cloud_put_ops": self.counters.get("cloud.put_ops"),
             "read_p99": self.read_latency.percentile(99),
+            "blob": self.db.blob_store.stats() if self.db.blob_store else None,
         }

@@ -176,6 +176,25 @@ CRASH_SITES: dict[str, str] = {
         "every checkpoint table copied, checkpoint manifest object absent "
         "(same contract as mid_copy)"
     ),
+    "bloblog.append": (
+        "blob record appended to the active segment but not synced, and the "
+        "WAL pointer that would reference it never written (torn segment "
+        "tail truncated at recovery; the op was never acked)"
+    ),
+    "bloblog.seal_mid_upload": (
+        "some multipart parts of a segment seal sent, object not visible "
+        "(incomplete multipart dropped by the crash; local segment intact "
+        "and re-sealed from the WAL's references at recovery)"
+    ),
+    "bloblog.seal_before_manifest": (
+        "sealed segment object visible in the cloud but absent from the "
+        "MANIFEST (recovery adopts it if the replayed memtable references "
+        "it, else deletes the orphan)"
+    ),
+    "bloblog.gc_before_segment_delete": (
+        "MANIFEST blob-segment delete committed, segment object not yet "
+        "deleted (orphan segment collected at recovery)"
+    ),
 }
 
 
@@ -371,6 +390,10 @@ class RecoveryOracle:
           newer, or fabricated.
         * **no resurrection** — an acknowledged delete stays deleted, and a
           scan surfaces no keys the workload never wrote.
+        * **scan fidelity** — a scanned value must byte-match an allowed
+          value for its key. This is what catches broken value *indirection*
+          (e.g. a blob pointer resolved against the wrong segment bytes
+          after recovery): the key survives, but the value is wrong.
         """
         problems: list[str] = []
         for key in sorted(self.tracked_keys()):
@@ -385,10 +408,24 @@ class RecoveryOracle:
                 )
         live = {key for key, value in self.acked.items() if value is not None}
         live |= {key for key, value in self.maybe.items() if value is not None}
-        for key, _value in store.scan():
+        for key, value in store.scan():
             if key not in live:
                 problems.append(
                     f"key {key!r}: surfaced by scan but never durably written "
                     "(resurrected delete or fabricated key)"
+                )
+                continue
+            allowed_values = {
+                v
+                for v in (
+                    self.acked.get(key),
+                    self.maybe.get(key) if key in self.maybe else None,
+                )
+                if v is not None
+            }
+            if value not in allowed_values:
+                problems.append(
+                    f"key {key!r}: scan surfaced {value!r}, expected one of "
+                    f"{sorted(allowed_values, key=repr)!r}"
                 )
         return problems

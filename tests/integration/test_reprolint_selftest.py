@@ -78,6 +78,35 @@ class TestMutationSelfTests:
             ("RL002", True)
         ]
 
+    def test_deleting_blob_read_tier_charge_fails_rl002(self, tree_copy):
+        # Blob pointer resolution decodes off-LSM bytes on the CPU tier;
+        # dropping its tracer mirror must trip the same gate.
+        mutate(
+            tree_copy / "mash" / "bloblog.py",
+            "        cost = _DECODE_BASE_COST + _DECODE_COST_PER_BYTE * len(raw)\n"
+            "        self.device.clock.advance(cost)\n"
+            "        if tracer is not None:\n"
+            '            tracer.charge("cpu", cost)\n',
+            "        cost = _DECODE_BASE_COST + _DECODE_COST_PER_BYTE * len(raw)\n"
+            "        self.device.clock.advance(cost)\n",
+        )
+        findings = findings_for(tree_copy.parent)
+        assert [(f.rule, f.path.endswith("mash/bloblog.py")) for f in findings] == [
+            ("RL002", True)
+        ]
+
+    def test_removing_blob_gc_reach_site_fails_rl003(self, tree_copy):
+        # The GC-before-delete crash site is what proves a segment delete
+        # is recoverable; silently dropping it is a coverage regression.
+        mutate(
+            tree_copy / "mash" / "bloblog.py",
+            'crash_points.reach("bloblog.gc_before_segment_delete")',
+            "pass",
+        )
+        findings = findings_for(tree_copy.parent)
+        assert [f.rule for f in findings] == ["RL003"]
+        assert "bloblog.gc_before_segment_delete" in findings[0].message
+
     def test_wall_clock_read_fails_rl001(self, tree_copy):
         path = tree_copy / "util" / "crc.py"
         path.write_text(
