@@ -214,6 +214,14 @@ class DB:
             if not create_if_missing:
                 raise RecoveryError(f"DB missing at {prefix!r}")
             db.versions.create()
+            if db.blob_store is not None:
+                # Brand the store as separated from birth. Stores created
+                # without the brand refuse to reopen with separation on:
+                # a raw value stored verbatim could start with the pointer
+                # magic and be misread as a pointer (see _recover).
+                edit = VersionEdit()
+                edit.blob_separation = True
+                db.versions.log_and_apply(edit)
             db._rotate_wal()
         return db
 
@@ -297,6 +305,12 @@ class DB:
 
     def _recover(self) -> None:
         self.versions.recover()
+        if self.blob_store is not None and not self.versions.blob_separation_enabled:
+            raise InvalidArgumentError(
+                "cannot enable key-value separation on a store created "
+                "without it: a raw stored value starting with the pointer "
+                "magic would be misread as a blob pointer"
+            )
         # One directory listing serves both file-number bumping and WAL
         # discovery (a LIST is a full round trip on the cloud tier).
         listing = self.env.list_files(self.prefix)

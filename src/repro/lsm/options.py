@@ -113,9 +113,14 @@ class Options:
     blob_value_threshold: int = 0
     """Values at least this many bytes are diverted at WAL-append time into
     an append-only blob log and the LSM stores a fixed 32-byte pointer
-    instead; 0 disables separation. Once a store has written pointers, it
-    must not be reopened with separation disabled — the pointers would be
-    returned verbatim."""
+    instead; 0 disables separation. The setting is a store-lifetime choice,
+    unsafe to flip in either direction: once a store has written pointers,
+    reopening with separation disabled would return them verbatim, and
+    enabling separation on a store created without it could misread a raw
+    value that starts with the pointer magic as a pointer. The MANIFEST
+    therefore brands separated stores at creation, and opening an
+    unbranded store with a nonzero threshold raises
+    ``InvalidArgumentError``."""
 
     blob_segment_bytes: int = 4 << 20
     """Seal and upload the active blob segment once it reaches this size

@@ -33,6 +33,7 @@ _TAG_DELETED_FILE = 4
 _TAG_NEW_FILE = 5
 _TAG_BLOB_SEGMENT = 6
 _TAG_BLOB_SEGMENT_DELETE = 7
+_TAG_BLOB_SEPARATION = 8
 
 
 @dataclass(frozen=True)
@@ -78,6 +79,12 @@ class VersionEdit:
     dead-byte counters ride the same edit as the compaction that dropped the
     pointers, so recovery replays them exactly."""
     deleted_blob_segments: set[int] = field(default_factory=set)
+    blob_separation: bool = False
+    """Brands the store as key-value separated. Written once when a store is
+    created with separation enabled; its absence makes reopening with
+    separation enabled refuse (a raw value stored verbatim while separation
+    was off could start with the pointer magic and be misread as a pointer).
+    The flag is sticky — never cleared once set."""
 
     def add_file(self, level: int, meta: FileMetaData) -> None:
         self.new_files.append((level, meta))
@@ -113,6 +120,8 @@ class VersionEdit:
             out += encode_varint(number) + encode_varint(total) + encode_varint(dead)
         for number in sorted(self.deleted_blob_segments):
             out += encode_varint(_TAG_BLOB_SEGMENT_DELETE) + encode_varint(number)
+        if self.blob_separation:
+            out += encode_varint(_TAG_BLOB_SEPARATION) + encode_varint(1)
         return bytes(out)
 
     @classmethod
@@ -146,6 +155,9 @@ class VersionEdit:
             elif tag == _TAG_BLOB_SEGMENT_DELETE:
                 number, pos = decode_varint(data, pos)
                 edit.delete_blob_segment(number)
+            elif tag == _TAG_BLOB_SEPARATION:
+                flag, pos = decode_varint(data, pos)
+                edit.blob_separation = bool(flag)
             else:
                 raise CorruptionError(f"unknown VersionEdit tag {tag}")
         return edit
@@ -295,6 +307,9 @@ class VersionSet:
         self.current = Version(options.num_levels)
         self.blob_segments: dict[int, tuple[int, int]] = {}
         """Sealed blob-log segments: number -> (total_bytes, dead_bytes)."""
+        self.blob_separation_enabled = False
+        """True once the MANIFEST records that this store was created with
+        key-value separation (see :attr:`VersionEdit.blob_separation`)."""
         self.next_file_number = 2  # 1 is reserved for the first manifest
         self.last_sequence = 0
         self.log_number = 0
@@ -338,6 +353,7 @@ class VersionSet:
         reader = read_log_file(self.env, name)
         applied = 0
         self.blob_segments = {}
+        self.blob_separation_enabled = False
         for record in reader:
             edit = VersionEdit.decode(record)
             version = version.apply(edit)
@@ -390,6 +406,8 @@ class VersionSet:
             self.blob_segments[number] = (total, dead)
         for number in edit.deleted_blob_segments:
             self.blob_segments.pop(number, None)
+        if edit.blob_separation:
+            self.blob_separation_enabled = True
 
     def manifest_bytes(self) -> int:
         """Current manifest size — the metadata-overhead metric of E5."""
@@ -425,6 +443,7 @@ class VersionSet:
             snapshot.add_file(level, meta)
         for number, (total, dead) in sorted(self.blob_segments.items()):
             snapshot.set_blob_segment(number, total, dead)
+        snapshot.blob_separation = self.blob_separation_enabled
         writer.add_record(snapshot.encode())
         crash_points.reach("manifest.rewrite_before_current")
         self.env.write_file(current_file_name(self.prefix), f"{new_number}".encode())

@@ -11,9 +11,11 @@ not values.
 Lifecycle and crash protocol:
 
 - The *active* segment is a local append-only file. Blob appends are synced
-  before the WAL record that references them, so a synced (acked) pointer
-  always has a durable record behind it; an unsynced tail is torn exactly
-  like a torn WAL tail and truncated at recovery.
+  before any WAL sync that could make a referencing record durable — both
+  the sync of the diverting batch itself and a later ``sync=True`` batch
+  that diverts nothing (:meth:`BlobLog.sync_active`) — so a synced (acked)
+  pointer always has a durable record behind it; an unsynced tail is torn
+  exactly like a torn WAL tail and truncated at recovery.
 - ``seal``: the active segment is uploaded to the cloud (multipart for
   bodies above the placement part size), recorded in the MANIFEST as a
   ``(number, total, dead)`` blob-segment edit, then the local copy is
@@ -31,7 +33,11 @@ Lifecycle and crash protocol:
 - ``recover``: MANIFEST-unknown segment files with no memtable references
   are abandoned uploads or GC orphans and are deleted; a referenced one is
   the crashed active segment — its clean record prefix is re-sealed with
-  the unreferenced remainder pre-counted dead.
+  the unreferenced remainder pre-counted dead. The re-seal is itself
+  crash-idempotent: the local copy is truncated in place (atomic, synced)
+  and kept until the MANIFEST edit commits, so a crash anywhere inside the
+  re-seal (including mid multipart upload) leaves a durable copy for the
+  next recovery to adopt again.
 """
 
 from __future__ import annotations
@@ -100,7 +106,7 @@ class BlobLog:
         self.active_number: int | None = None
         self.active_file: WritableFile | None = None
         self.active_offset = 0
-        self.active_dead = 0
+        self.active_unsynced = False
         self._in_gc = False
         self._rewritten: set[int] = set()
         # Counters (surfaced via store stats / E23).
@@ -134,6 +140,11 @@ class BlobLog:
             op.value_type == TYPE_VALUE and self.should_divert(op.value)
             for op in batch
         ):
+            if sync:
+                # A sync=True WAL append makes *every* earlier unsynced WAL
+                # record durable, including pointers from prior sync=False
+                # batches — their blob bytes must become durable first.
+                self.sync_active()
             return batch
         out = WriteBatch()
         out.sequence = batch.sequence
@@ -154,7 +165,6 @@ class BlobLog:
             name = blob_file_name(self.prefix, self.active_number)
             self.active_file = self.env.new_writable_file(name)
             self.active_offset = 0
-            self.active_dead = 0
         record = encode_blob_record(sequence, key, value)
         offset = self.active_offset
         self.active_file.append(record)
@@ -163,6 +173,9 @@ class BlobLog:
         crash_points.reach("bloblog.append")
         if sync:
             self.active_file.sync()
+            self.active_unsynced = False
+        else:
+            self.active_unsynced = True
         self.active_offset += len(record)
         self.bytes_diverted += len(record)
         self.records_diverted += 1
@@ -176,6 +189,19 @@ class BlobLog:
         if self.active_offset >= self.options.blob_segment_bytes:
             self.seal_active()
         return encode_pointer(pointer)
+
+    def sync_active(self) -> None:
+        """Make the active segment durable ahead of a WAL sync.
+
+        A sync=False diverted put leaves blob bytes in the device's unsynced
+        tail; the WAL record pointing at them is unsynced too, so the pair is
+        consistently volatile. But the next sync=True WAL append — even one
+        that diverts nothing — syncs the whole WAL file and would durably
+        persist that pointer, so the blob bytes must be synced first.
+        """
+        if self.active_unsynced and self.active_file is not None:
+            self.active_file.sync()
+        self.active_unsynced = False
 
     # -- sealing --------------------------------------------------------------
 
@@ -193,10 +219,10 @@ class BlobLog:
         self.active_file.close()
         self.active_file = None
         self.active_number = None
+        self.active_unsynced = False
         data = self.env.local.read_file(name)
-        self._upload_and_record(number, name, data, self.active_dead)
+        self._upload_and_record(number, name, data, 0)
         self.active_offset = 0
-        self.active_dead = 0
         self.segments_sealed += 1
 
     def _upload_and_record(self, number: int, name: str, data: bytes, dead: int) -> None:
@@ -215,7 +241,7 @@ class BlobLog:
         # the MANIFEST; recovery must adopt or discard it by reference count.
         crash_points.reach("bloblog.seal_before_manifest")
         edit = VersionEdit()
-        edit.set_blob_segment(number, len(data), min(dead, len(data)))
+        edit.set_blob_segment(number, len(data), dead)
         self.versions.log_and_apply(edit)
         if self.env.local.file_exists(name):
             self.env.local.delete_file(name)
@@ -402,12 +428,16 @@ class BlobLog:
                 f"prefix ({max_end} > {valid_len})"
             )
         referenced = sum(length for _offset, length in wanted)
-        if self.env.local.file_exists(name):
-            self.env.local.delete_file(name)
-        if self.env.cloud.file_exists(name):
-            # Partial visibility from a seal that crashed after upload but
-            # before the MANIFEST record; the re-seal below re-puts it.
-            self.env.cloud.delete_file(name)
+        # Keep a durable copy until the MANIFEST edit commits: a crash inside
+        # the re-seal below (e.g. mid multipart upload, where the cloud object
+        # is still invisible) must leave the next recovery something to adopt.
+        # Truncate the local file in place (write_file is atomic and synced)
+        # rather than deleting it; the upload simply overwrites any partially
+        # visible cloud object from an interrupted earlier seal, and
+        # _upload_and_record drops the local copy only after the MANIFEST
+        # records the segment.
+        if valid_len < len(data) or not self.env.local.file_exists(name):
+            self.env.local.write_file(name, data[:valid_len])
         self._upload_and_record(number, name, data[:valid_len], valid_len - referenced)
         self.segments_sealed += 1
 
