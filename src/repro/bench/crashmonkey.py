@@ -51,7 +51,10 @@ def crashmonkey_config() -> StoreConfig:
     multi-part; 4 xWAL shards give multi-shard batches; a small manifest
     cap forces rewrites mid-run. Blob separation is on with a 2 KiB
     segment cap so blob values seal multi-part segments, and hot-key
-    overwrites in the workload drive segments fully dead for GC.
+    overwrites in the workload drive segments fully dead for GC. The
+    sorted view is on so every flush/compaction runs the two-edit view
+    commit, exposing the ``view.*`` crash window between the file edit
+    and the view persist.
     """
     return StoreConfig(
         options=Options(
@@ -64,6 +67,7 @@ def crashmonkey_config() -> StoreConfig:
             blob_value_threshold=256,
             blob_segment_bytes=2 << 10,
             blob_gc_dead_ratio=0.5,
+            sorted_view=True,
         ),
         placement=PlacementConfig(cloud_level=1, multipart_part_bytes=1 << 10),
         xwal=XWalConfig(num_shards=4),

@@ -23,9 +23,10 @@ Extension points used by :mod:`repro.mash`:
 from __future__ import annotations
 
 from collections.abc import Callable, Iterator
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Any
 
-from repro.errors import ClosedError, InvalidArgumentError, RecoveryError
+from repro.errors import ClosedError, CorruptionError, InvalidArgumentError, RecoveryError
 from repro.lsm.blob import maybe_pointer
 from repro.lsm.block_cache import LRUBlockCache
 from repro.lsm.compaction import (
@@ -34,11 +35,23 @@ from repro.lsm.compaction import (
     CompactionPicker,
     CompactionStats,
 )
-from repro.lsm.format import log_file_name, parse_file_name, table_file_name
+from repro.lsm.format import BlockHandle, log_file_name, parse_file_name, table_file_name
 from repro.lsm.iterator import clamp_to_range, merge_internal, visible_user_entries
 from repro.lsm.memtable import GetResult, MemTable
 from repro.lsm.options import Options
-from repro.lsm.table_builder import TableBuilder, TableProperties
+from repro.lsm.sortedview import (
+    BlockRef,
+    BlockSource,
+    SortedView,
+    TableRun,
+    decode_view,
+    encode_view,
+    files_crc,
+    rebuild_view,
+    run_from_blocks,
+    view_matches_files,
+)
+from repro.lsm.table_builder import BlockMeta, TableBuilder, TableProperties
 from repro.lsm.table_cache import TableCache
 from repro.lsm.version import FileMetaData, VersionEdit, VersionSet
 from repro.lsm.wal import LogWriter, read_log_file
@@ -49,6 +62,7 @@ from repro.util.encoding import (
     MAX_SEQUENCE,
     TYPE_DELETION,
     TYPE_VALUE,
+    compare_internal,
     make_internal_key,
     parse_internal_key,
 )
@@ -93,6 +107,7 @@ class DB:
         *,
         loader_wrapper=None,
         footer_source=None,
+        view_store=None,
     ) -> None:
         """Use :meth:`DB.open` instead of constructing directly."""
         self.env = env
@@ -153,6 +168,29 @@ class DB:
         """Key-value separation backend (see :mod:`repro.mash.bloblog`);
         None in the base engine. Subclasses with a hybrid env override
         :meth:`_open_blob_store` to enable it."""
+        self.view_store = view_store
+        """Persistence backend for the global sorted view: an object with
+        ``persist(stamp, payload)`` and ``load(stamp) -> payload | None``
+        (see ``PCacheViewStore`` in :mod:`repro.mash.store`). None keeps
+        the view in memory only — recovery then rebuilds instead of
+        reloading."""
+        self._sorted_view: SortedView | None = None
+        self._view_version = None
+        """The Version the current view was built for; pointer identity
+        against ``versions.current`` is the O(1) freshness check."""
+        self.view_event_hook: Callable[[str], None] | None = None
+        """Optional ``(label)`` observer for view lifecycle events
+        (``view_build``/``view_load``/``view_hit``/``view_fallback``);
+        wired to the obs tracer by the store facade."""
+        self.view_stats: dict[str, int] = {
+            "builds": 0,
+            "segments_reused": 0,
+            "segments_rebuilt": 0,
+            "tables_derived": 0,
+            "scan_hits": 0,
+            "scan_fallbacks": 0,
+            "get_hits": 0,
+        }
 
     # -- loader composition -------------------------------------------------
 
@@ -223,6 +261,11 @@ class DB:
                 edit.blob_separation = True
                 db.versions.log_and_apply(edit)
             db._rotate_wal()
+            if db.options.sorted_view:
+                # A brand-new store has no runs: the empty view is trivially
+                # current, so the first reads need no fallback.
+                db._sorted_view = SortedView(0)
+                db._view_version = db.versions.current
         return db
 
     def close(self) -> None:
@@ -323,6 +366,7 @@ class DB:
                 max_on_disk = max(max_on_disk, parsed[1])
         self.versions.next_file_number = max(self.versions.next_file_number, max_on_disk + 1)
         self._purge_orphans(listing)
+        self._recover_sorted_view()
         replayed_max = 0
         old_numbers = self._live_wal_numbers(listing)
         for number in old_numbers:
@@ -378,6 +422,153 @@ class DB:
         limit = self.options.max_manifest_file_size
         if limit and self.versions.manifest_bytes() > limit:
             self.versions.rewrite_manifest()
+
+    # -- sorted view lifecycle ---------------------------------------------------
+
+    def _view_event(self, label: str) -> None:
+        if self.view_event_hook is not None:
+            self.view_event_hook(label)
+
+    def _view_usable(self) -> bool:
+        """Is the sorted view present and built for the current version?
+
+        Pointer identity against ``versions.current`` makes staleness an
+        O(1) check: every ``log_and_apply`` produces a new Version object,
+        and the view refresh records the one it was built for.
+        """
+        return (
+            self.options.sorted_view
+            and self._sorted_view is not None
+            and self._view_version is self.versions.current
+        )
+
+    def _view_block_source(self, pipeline: Any | None = None) -> BlockSource:
+        """Data-block fetches for view scans, bypassing TableReader.
+
+        The view already holds every block's handle, so view scans never
+        construct a reader — no footer/index/filter reads — and go straight
+        through the table cache's wrapped loader chain. When a prefetch
+        ``pipeline`` is attached, the first fetch against each run notifies
+        ``view_started`` so speculative branches are joined (hit) instead
+        of rotting into waste.
+        """
+        notify = getattr(pipeline, "view_started", None)
+        started: set[int] = set()
+
+        def fetch(number: int, ref: BlockRef) -> bytes:
+            if notify is not None and number not in started:
+                started.add(number)
+                notify(number)
+            name, loader = self.table_cache.data_loader(number)
+            return loader(name, BlockHandle(ref.offset, ref.size), "data")
+
+        return fetch
+
+    def _refresh_sorted_view(
+        self, new_blocks: dict[int, list[BlockMeta]] | None = None
+    ) -> None:
+        """Rebuild the view for the (just-committed) current version.
+
+        Called after every flush/compaction/ingest edit. ``new_blocks``
+        carries the builder's block metadata for freshly written tables, so
+        their runs are derived without I/O; unchanged tables reuse the old
+        view's runs, and only tables absent from both (e.g. after a
+        recovery rebuild) are re-derived from their index blocks.
+
+        Commit protocol (two edits): the flush/compaction edit is already
+        durable before this runs, then the view payload is persisted, then
+        a small MANIFEST edit records ``(stamp, files_crc)``. A crash in
+        that window leaves a committed version with a stale view record —
+        recovery detects the crc mismatch and reads fall back to the
+        merging iterator until the next refresh.
+        """
+        if not self.options.sorted_view:
+            return
+        version = self.versions.current
+        old = self._sorted_view
+        tables: dict[int, TableRun] = {}
+        derived = 0
+        for level, meta in version.all_files():
+            prev = old.tables.get(meta.number) if old is not None else None
+            if (
+                prev is not None
+                and prev.smallest == meta.smallest
+                and prev.largest == meta.largest
+            ):
+                tables[meta.number] = (
+                    prev if prev.level == level else replace(prev, level=level)
+                )
+                continue
+            metas = None if new_blocks is None else new_blocks.get(meta.number)
+            if metas is not None:
+                tables[meta.number] = run_from_blocks(
+                    meta.number, level, meta.smallest, meta.largest, metas
+                )
+                continue
+            reader = self.table_cache.get_reader(meta.number)
+            refs = tuple(
+                BlockRef(last_key, handle.offset, handle.size)
+                for last_key, handle in reader.block_refs()
+            )
+            tables[meta.number] = TableRun(
+                meta.number, level, meta.smallest, meta.largest, refs
+            )
+            derived += 1
+        stamp = self.versions.new_file_number()
+        view, stats = rebuild_view(stamp, old, tables)
+        stats.tables_derived = derived
+        self._sorted_view = view
+        self._view_version = version
+        self.view_stats["builds"] += 1
+        self.view_stats["segments_reused"] += stats.segments_reused
+        self.view_stats["segments_rebuilt"] += stats.segments_rebuilt
+        self.view_stats["tables_derived"] += stats.tables_derived
+        self._view_event("view_build")
+        crash_points.reach("view.before_persist")
+        if self.view_store is not None:
+            self.view_store.persist(stamp, encode_view(view))
+        crash_points.reach("view.before_manifest")
+        edit = VersionEdit()
+        edit.sorted_view = (stamp, files_crc(view.tables.keys()))
+        self.versions.log_and_apply(edit)
+        # The view edit itself produced a fresh (identical-files) Version;
+        # re-point the freshness marker at it.
+        self._view_version = self.versions.current
+
+    def _recover_sorted_view(self) -> None:
+        """Reload the persisted view if it still matches the recovered state.
+
+        A stale or unloadable view (crash between a flush/compaction commit
+        and the view persist, or a store opened without a view store) is
+        simply dropped: reads fall back to the merging iterator and the
+        next flush/compaction rebuilds from scratch.
+        """
+        if not self.options.sorted_view:
+            return
+        stamp = self.versions.sorted_view_stamp
+        live = self.versions.current.live_file_numbers()
+        if (
+            stamp
+            and self.view_store is not None
+            and self.versions.sorted_view_crc == files_crc(live)
+        ):
+            payload = self.view_store.load(stamp)
+            if payload is not None:
+                try:
+                    view = decode_view(payload)
+                except CorruptionError:
+                    view = None
+                if view is not None and view_matches_files(
+                    view, self.versions.current.files
+                ):
+                    self._sorted_view = view
+                    self._view_version = self.versions.current
+                    self._view_event("view_load")
+                    return
+        if not live:
+            # Nothing flushed yet: the empty view is trivially current.
+            self._sorted_view = SortedView(0)
+            self._view_version = self.versions.current
 
     # -- write path --------------------------------------------------------------
 
@@ -490,6 +681,7 @@ class DB:
         edit.add_file(target, meta)
         self.versions.last_sequence = sequence
         self.versions.log_and_apply(edit)
+        self._refresh_sorted_view({meta.number: props.blocks})
         event = FlushEvent(meta=meta, properties=props, level=target)
         for hook in self.listeners.on_flush:
             hook(event)
@@ -534,6 +726,7 @@ class DB:
             if self.env.file_exists(name_):
                 self.env.delete_file(name_)
         self._maybe_rewrite_manifest()
+        self._refresh_sorted_view({meta.number: props.blocks})
         event = FlushEvent(meta=meta, properties=props, level=0)
         for hook in self.listeners.on_flush:
             hook(event)
@@ -659,7 +852,13 @@ class DB:
             stats=self.compaction_stats,
         )
 
+        output_blocks: dict[int, list[BlockMeta]] = {}
+
         def listener(event: CompactionEvent) -> None:
+            for output in event.outputs:
+                # Capture block maps for the view refresh: new outputs get
+                # their runs from builder metadata, not index-block I/O.
+                output_blocks[output.meta.number] = output.properties.blocks
             for hook in self.listeners.on_compaction:
                 hook(event)
 
@@ -693,6 +892,7 @@ class DB:
                 continue
             self._delete_table_file(number)
         self._maybe_rewrite_manifest()
+        self._refresh_sorted_view(output_blocks)
         self._notify_version_change()
 
     def _notify_version_change(self) -> None:
@@ -724,6 +924,26 @@ class DB:
         if result.state == GetResult.DELETED:
             return None
         lookup = make_internal_key(key, sequence, TYPE_VALUE)
+        if self._view_usable():
+            # One binary search over the anchors yields the candidate
+            # (run, block) pairs in files_for_user_key order; the reader's
+            # bloom/partition probes still apply, but its index seek is
+            # replaced by the view's block map.
+            assert self._sorted_view is not None
+            self.view_stats["get_hits"] += 1
+            for run, ref in self._sorted_view.point_candidates(key, lookup):
+                reader = self.table_cache.get_reader(run.number)
+                entry = reader.get_at(lookup, BlockHandle(ref.offset, ref.size))
+                if entry is None:
+                    continue
+                ikey, value = entry
+                parsed = parse_internal_key(ikey)
+                if parsed.user_key != key:
+                    continue
+                if parsed.value_type == TYPE_DELETION:
+                    return None
+                return value
+            return None
         for _level, meta in self.versions.current.files_for_user_key(key):
             reader = self.table_cache.get_reader(meta.number)
             entry = reader.get(lookup)
@@ -796,22 +1016,42 @@ class DB:
                 sources.append(self.memtable.seek(seek_key))
             else:
                 sources.append(iter(self.memtable))
-            l0_files = self._files_in_scan_range(version.files[0], begin, end)
-            level_files = [
-                self._files_in_scan_range(version.files[level], begin, end)
-                for level in range(1, self.options.num_levels)
-            ]
-            if pipeline is not None:
-                # Seek fan-out: every reader the merge heap opens on its
-                # first pull, opened as parallel branches instead of a
-                # serial chain of cloud round trips.
-                initial = list(l0_files) + [files[0] for files in level_files if files]
-                pipeline.seek_fanout(initial, seek_key)
-            for meta in l0_files:
-                sources.append(self._table_iter(meta, seek_key))
-            for files in level_files:
-                if files:
-                    sources.append(self._level_iter(files, seek_key, pipeline))
+            if self._view_usable():
+                assert self._sorted_view is not None
+                self.view_stats["scan_hits"] += 1
+                self._view_event("view_hit")
+                if pipeline is not None and hasattr(pipeline, "view_fanout"):
+                    initial_plan, upcoming_plan = self._view_prefetch_plan(
+                        self._sorted_view, seek_key, end
+                    )
+                    pipeline.view_fanout(initial_plan, upcoming_plan)
+                sources.append(
+                    self._sorted_view.stream(
+                        seek_key, self._view_block_source(pipeline)
+                    )
+                )
+            else:
+                if self.options.sorted_view:
+                    self.view_stats["scan_fallbacks"] += 1
+                    self._view_event("view_fallback")
+                l0_files = self._files_in_scan_range(version.files[0], begin, end)
+                level_files = [
+                    self._files_in_scan_range(version.files[level], begin, end)
+                    for level in range(1, self.options.num_levels)
+                ]
+                if pipeline is not None:
+                    # Seek fan-out: every reader the merge heap opens on its
+                    # first pull, opened as parallel branches instead of a
+                    # serial chain of cloud round trips.
+                    initial = list(l0_files) + [
+                        files[0] for files in level_files if files
+                    ]
+                    pipeline.seek_fanout(initial, seek_key)
+                for meta in l0_files:
+                    sources.append(self._table_iter(meta, seek_key))
+                for files in level_files:
+                    if files:
+                        sources.append(self._level_iter(files, seek_key, pipeline))
             merged = merge_internal(sources)
             yield from self._resolve_entries(
                 clamp_to_range(visible_user_entries(merged, sequence), begin, end)
@@ -820,6 +1060,52 @@ class DB:
             if pipeline is not None:
                 pipeline.finish()
             self._unpin_version(version)
+
+    def _view_prefetch_plan(
+        self, view: SortedView, seek_key: bytes | None, end: bytes | None
+    ) -> tuple[list[tuple[int, BlockHandle]], list[tuple[int, BlockHandle]]]:
+        """(initial, upcoming) block plans for a view scan's prefetcher.
+
+        ``initial`` is the first block each run of the seek's segment will
+        fetch — the view-path analogue of the merging iterator's seek
+        fan-out, but with the exact block handles so no reader (footer/
+        index/filter I/O) is ever opened. ``upcoming`` lists the entry
+        blocks of runs that join in later segments of the range, in
+        first-touched order, for depth-bounded speculative priming.
+        """
+        initial: list[tuple[int, BlockHandle]] = []
+        upcoming: list[tuple[int, BlockHandle]] = []
+        if not view.segments:
+            return initial, upcoming
+        start = view.locate(seek_key) if seek_key is not None else 0
+        end_ikey = (
+            make_internal_key(end, MAX_SEQUENCE, TYPE_VALUE)
+            if end is not None
+            else None
+        )
+        seen: set[int] = set()
+        for i in range(start, len(view.segments)):
+            seg = view.segments[i]
+            if (
+                i > start
+                and end_ikey is not None
+                and compare_internal(seg.anchor, end_ikey) >= 0
+            ):
+                break
+            for cur in seg.cursors:
+                if cur.number in seen:
+                    continue
+                seen.add(cur.number)
+                run = view.tables[cur.number]
+                if i == start and seek_key is not None:
+                    ref = run.block_for(seek_key)
+                    if ref is None:
+                        continue
+                else:
+                    ref = run.blocks[cur.ordinal]
+                entry = (cur.number, BlockHandle(ref.offset, ref.size))
+                (initial if i == start else upcoming).append(entry)
+        return initial, upcoming
 
     def scan_reverse(
         self,
@@ -830,10 +1116,13 @@ class DB:
     ) -> Iterator[tuple[bytes, bytes]]:
         """Ordered iteration over user keys in [begin, end), *descending*.
 
-        Mirrors :meth:`scan` but walks every source backward. Sources do
-        not support reverse seek, so iteration starts from each source's
-        end; the range clamp stops consumption once keys drop below
-        ``begin``.
+        Mirrors :meth:`scan` but walks every source backward. Every source
+        is reverse-seeked to the ``end`` bound first (``seek_reverse``), so
+        a tight-``end`` reverse scan never fetches the out-of-range tail
+        blocks of its tables; the range clamp stops consumption once keys
+        drop below ``begin``. The scan pipeline (when installed) fans out
+        the initial reader opens and prefetches upcoming tables in reverse
+        level order, exactly like the forward path.
         """
         from repro.lsm.iterator import (
             clamp_to_range_reverse,
@@ -843,15 +1132,58 @@ class DB:
 
         self._check_open()
         sequence = snapshot.sequence if snapshot else self.versions.last_sequence
+        bound = (
+            make_internal_key(end, MAX_SEQUENCE, TYPE_VALUE)
+            if end is not None
+            else None
+        )
         version = self._pin_version()
+        pipeline = (
+            self.scan_pipeline_factory(begin, end)
+            if self.scan_pipeline_factory is not None
+            else None
+        )
         try:
-            sources = [self.memtable.reverse_iter()]
-            for meta in self._files_in_scan_range(version.files[0], begin, end):
-                sources.append(self.table_cache.get_reader(meta.number).reverse_iter())
-            for level in range(1, self.options.num_levels):
-                files = self._files_in_scan_range(version.files[level], begin, end)
-                if files:
-                    sources.append(self._level_reverse_iter(files))
+            if bound is not None:
+                sources = [self.memtable.seek_reverse(bound)]
+            else:
+                sources = [self.memtable.reverse_iter()]
+            if self._view_usable():
+                assert self._sorted_view is not None
+                self.view_stats["scan_hits"] += 1
+                self._view_event("view_hit")
+                if pipeline is not None and hasattr(pipeline, "view_fanout"):
+                    plan = self._view_reverse_prefetch_plan(self._sorted_view, bound)
+                    pipeline.view_fanout(plan, [])
+                sources.append(
+                    self._sorted_view.stream_reverse(
+                        bound, self._view_block_source(pipeline)
+                    )
+                )
+            else:
+                if self.options.sorted_view:
+                    self.view_stats["scan_fallbacks"] += 1
+                    self._view_event("view_fallback")
+                l0_files = self._files_in_scan_range(version.files[0], begin, end)
+                level_files = [
+                    self._files_in_scan_range(version.files[level], begin, end)
+                    for level in range(1, self.options.num_levels)
+                ]
+                if pipeline is not None:
+                    # Reverse seek fan-out: all L0 tables plus the *last*
+                    # in-range table of each level — the readers the reverse
+                    # merge opens on its first pull.
+                    initial = list(l0_files) + [
+                        files[-1] for files in level_files if files
+                    ]
+                    pipeline.seek_fanout(initial, bound, reverse=True)
+                for meta in l0_files:
+                    sources.append(self._table_reverse_iter(meta, bound))
+                for files in level_files:
+                    if files:
+                        sources.append(
+                            self._level_reverse_iter(files, bound, pipeline)
+                        )
             merged = merge_internal_reverse(sources)
             yield from self._resolve_entries(
                 clamp_to_range_reverse(
@@ -859,7 +1191,30 @@ class DB:
                 )
             )
         finally:
+            if pipeline is not None:
+                pipeline.finish()
             self._unpin_version(version)
+
+    def _view_reverse_prefetch_plan(
+        self, view: SortedView, bound: bytes | None
+    ) -> list[tuple[int, BlockHandle]]:
+        """First block each run of the bound's segment fetches (reverse).
+
+        ``stream_reverse`` reads a segment's member runs forward from their
+        cursors, so the entry block per run is the cursor block itself.
+        """
+        plan: list[tuple[int, BlockHandle]] = []
+        if not view.segments:
+            return plan
+        if bound is not None and compare_internal(bound, view.segments[0].anchor) <= 0:
+            return plan
+        seg = view.segments[
+            view.locate(bound) if bound is not None else len(view.segments) - 1
+        ]
+        for cur in seg.cursors:
+            ref = view.tables[cur.number].blocks[cur.ordinal]
+            plan.append((cur.number, BlockHandle(ref.offset, ref.size)))
+        return plan
 
     @staticmethod
     def _files_in_scan_range(files, begin: bytes | None, end: bytes | None):
@@ -876,10 +1231,19 @@ class DB:
             and not (end is not None and meta.smallest_user_key >= end)
         ]
 
-    def _level_reverse_iter(self, files):
+    def _table_reverse_iter(self, meta: FileMetaData, bound: bytes | None):
+        reader = self.table_cache.get_reader(meta.number)
+        if bound is None:
+            return reader.reverse_iter()
+        return reader.seek_reverse(bound)
+
+    def _level_reverse_iter(self, files, bound: bytes | None, pipeline=None):
         def gen():
-            for meta in reversed(files):
-                yield from self.table_cache.get_reader(meta.number).reverse_iter()
+            ordered = list(reversed(files))
+            for index, meta in enumerate(ordered):
+                if pipeline is not None:
+                    pipeline.table_started(ordered, index, bound, reverse=True)
+                yield from self._table_reverse_iter(meta, bound)
 
         return gen()
 
@@ -926,6 +1290,7 @@ class DB:
         * ``num-snapshots`` — live snapshots (int)
         * ``block-cache-hit-ratio`` — DRAM cache hit ratio (float)
         * ``blob-stats`` — blob value-log counters (str)
+        * ``sorted-view-stats`` — global sorted view state + counters (str)
         * ``compaction-stats`` — human-readable summary (str)
         * ``levels`` — human-readable per-level table (str)
         * ``stats`` — combined dump: levels + compaction + misc (str)
@@ -964,6 +1329,13 @@ class DB:
             return " ".join(
                 f"{k}={v}" for k, v in self.blob_store.stats().items()
             )
+        if key == "sorted-view-stats":
+            usable = "yes" if self._view_usable() else "no"
+            segments = (
+                len(self._sorted_view.segments) if self._sorted_view is not None else 0
+            )
+            counters = " ".join(f"{k}={v}" for k, v in self.view_stats.items())
+            return f"usable={usable} segments={segments} {counters}"
         if key == "compaction-stats":
             s = self.compaction_stats
             return (

@@ -103,3 +103,17 @@ class MemTable:
         """
         entries = [_decode_entry(e) for e in self._table]
         return iter(reversed(entries))
+
+    def seek_reverse(self, bound: bytes) -> Iterator[tuple[bytes, bytes]]:
+        """Entries with internal key < ``bound``, descending.
+
+        Like :meth:`reverse_iter` but stops materializing at the bound, so
+        a tight-bound reverse scan never touches the memtable's tail.
+        """
+        out: list[tuple[bytes, bytes]] = []
+        for entry in self._table:
+            ikey, value = _decode_entry(entry)
+            if compare_internal(ikey, bound) >= 0:
+                break
+            out.append((ikey, value))
+        return iter(reversed(out))

@@ -1,0 +1,604 @@
+"""REMIX-style persistent global sorted view over a version's runs.
+
+A :class:`SortedView` partitions the internal-key space into *segments*
+bounded by an ascending anchor-key array.  Each segment records, for every
+run (SSTable) whose key range intersects it, a *cursor*: the ordinal of the
+first data block of that run that can contain keys of the segment.  A seek
+is then one binary search over the anchors; a scan walks the per-run
+cursors forward, touching only the handful of runs a segment actually
+intersects instead of heap-merging every open source per key.
+
+Anchors are *normalized*: every anchor is ``user_key + trailer(MAX_SEQUENCE,
+TYPE_VALUE)`` — the smallest possible internal key for its user key — so all
+internal entries of one user key land in exactly one segment.  This is what
+makes single-segment point lookups (:meth:`SortedView.point_candidates`)
+correct for snapshot reads at any sequence number.
+
+The view is rebuilt *incrementally* at flush/compaction time
+(:func:`rebuild_view`): only the anchor window spanned by added/removed
+tables is re-derived from index-block metadata, and segments strictly
+before/after that window are spliced in from the previous view unchanged.
+Trivial moves (level-only changes) reuse every segment.
+
+The view is a pure in-memory structure plus a serialization
+(:func:`encode_view`/:func:`decode_view`); persistence through the pcache,
+MANIFEST versioning, and read-path integration live in ``repro.mash.store``
+and ``repro.lsm.db``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.errors import CorruptionError
+from repro.lsm.block import Block
+from repro.lsm.table_builder import BlockMeta
+from repro.util.crc import masked_crc32, verify_masked_crc32
+from repro.util.encoding import (
+    MAX_SEQUENCE,
+    TYPE_VALUE,
+    InternalKeyOrder,
+    compare_internal,
+    decode_fixed32,
+    encode_fixed32,
+    extract_user_key,
+    make_internal_key,
+)
+from repro.util.varint import (
+    decode_varint,
+    encode_varint,
+    get_length_prefixed,
+    put_length_prefixed,
+)
+
+_VIEW_MAGIC = 0x9E
+_VIEW_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class BlockRef:
+    """Location and last key of one data block within a run."""
+
+    last_key: bytes
+    offset: int
+    size: int
+
+
+@dataclass(frozen=True, slots=True)
+class TableRun:
+    """One SSTable as the view sees it: key range plus its block map."""
+
+    number: int
+    level: int
+    smallest: bytes
+    largest: bytes
+    blocks: tuple[BlockRef, ...]
+
+    def block_for(self, target: bytes) -> BlockRef | None:
+        """First block whose last key is >= ``target`` (None past the end)."""
+        lo, hi = 0, len(self.blocks)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if compare_internal(self.blocks[mid].last_key, target) < 0:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self.blocks[lo] if lo < len(self.blocks) else None
+
+
+@dataclass(frozen=True, slots=True)
+class SegmentCursor:
+    """Run selector + starting block ordinal for one run in one segment."""
+
+    number: int
+    ordinal: int
+
+
+@dataclass(frozen=True, slots=True)
+class ViewSegment:
+    """Anchor (inclusive lower bound) plus the cursors of member runs."""
+
+    anchor: bytes
+    cursors: tuple[SegmentCursor, ...]
+
+
+@dataclass(slots=True)
+class ViewBuildStats:
+    """Incremental-rebuild accounting surfaced through obs events."""
+
+    segments_reused: int = 0
+    segments_rebuilt: int = 0
+    tables_derived: int = 0
+    """Tables whose block map had to be re-read from their index block
+    (rather than arriving via flush/compaction properties or the old view)."""
+
+
+BlockSource = Callable[[int, "BlockRef"], bytes]
+"""``(table_number, block_ref) -> verified block payload``."""
+
+
+def user_key_anchor(ikey: bytes) -> bytes:
+    """Normalize an internal key to its user key's smallest internal key."""
+    return make_internal_key(extract_user_key(ikey), MAX_SEQUENCE, TYPE_VALUE)
+
+
+def run_from_blocks(
+    number: int,
+    level: int,
+    smallest: bytes,
+    largest: bytes,
+    blocks: Iterable[BlockMeta],
+) -> TableRun:
+    """Build a :class:`TableRun` from builder/reader block metadata."""
+    refs = tuple(
+        BlockRef(meta.last_key, meta.handle.offset, meta.handle.size) for meta in blocks
+    )
+    return TableRun(number, level, smallest, largest, refs)
+
+
+def files_crc(numbers: Iterable[int]) -> int:
+    """Order-independent checksum of a live-file-number set.
+
+    Stored beside the view's stamp in the MANIFEST so recovery (and
+    ``check_db``) can tell whether a persisted view describes the current
+    version's exact file set without loading it.
+    """
+    payload = b"".join(encode_varint(n) for n in sorted(numbers))
+    return masked_crc32(payload)
+
+
+@dataclass(slots=True)
+class SortedView:
+    """Immutable-by-convention snapshot of the global sorted view."""
+
+    stamp: int
+    tables: dict[int, TableRun] = field(default_factory=dict)
+    segments: list[ViewSegment] = field(default_factory=list)
+
+    def locate(self, target: bytes) -> int:
+        """Index of the segment whose range contains ``target``.
+
+        Greatest ``i`` with ``anchor[i] <= target``, clamped to 0 for
+        targets below the first anchor (no keys live there anyway).
+        """
+        lo, hi = 0, len(self.segments)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if compare_internal(self.segments[mid].anchor, target) <= 0:
+                lo = mid + 1
+            else:
+                hi = mid
+        return max(lo - 1, 0)
+
+    def tables_for_range(
+        self, target: bytes | None, upper: bytes | None = None
+    ) -> list[int]:
+        """Table numbers a scan from ``target`` (to ``upper``) can touch,
+        in first-touched order — the prefetcher's exact fan-out list."""
+        if not self.segments:
+            return []
+        start = self.locate(target) if target is not None else 0
+        seen: set[int] = set()
+        out: list[int] = []
+        for i in range(start, len(self.segments)):
+            seg = self.segments[i]
+            if upper is not None and compare_internal(seg.anchor, upper) >= 0:
+                break
+            for cur in seg.cursors:
+                if cur.number not in seen:
+                    seen.add(cur.number)
+                    out.append(cur.number)
+        return out
+
+    def stream(
+        self, target: bytes | None, block_source: BlockSource
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """All internal entries >= ``target`` in internal-key order.
+
+        Equivalent to ``merge_internal`` over seeked table iterators, but
+        with no per-key heap: within a segment at most the member runs are
+        min-picked, and a single-member segment degenerates to a straight
+        cursor walk.  Run streams are carried across segment boundaries so
+        each data block is fetched at most once.
+        """
+        if not self.segments:
+            return
+        start = self.locate(target) if target is not None else 0
+        streams: dict[int, _RunStream] = {}
+        for i in range(start, len(self.segments)):
+            seg = self.segments[i]
+            upper = (
+                self.segments[i + 1].anchor if i + 1 < len(self.segments) else None
+            )
+            active: list[_RunStream] = []
+            carried: dict[int, _RunStream] = {}
+            for cur in seg.cursors:
+                run_stream = streams.get(cur.number)
+                if run_stream is None:
+                    seek = target if (i == start and target is not None) else None
+                    run_stream = _RunStream(
+                        self.tables[cur.number], cur.ordinal, seek, block_source
+                    )
+                carried[cur.number] = run_stream
+                if run_stream.head is not None:
+                    active.append(run_stream)
+            streams = carried
+            if not active:
+                continue
+            if len(active) == 1:
+                only = active[0]
+                while only.head is not None and (
+                    upper is None or compare_internal(only.head[0], upper) < 0
+                ):
+                    yield only.head
+                    only.step()
+                continue
+            while True:
+                best: _RunStream | None = None
+                for run_stream in active:
+                    head = run_stream.head
+                    if head is None:
+                        continue
+                    if upper is not None and compare_internal(head[0], upper) >= 0:
+                        continue
+                    if best is None or (
+                        best.head is not None
+                        and compare_internal(head[0], best.head[0]) < 0
+                    ):
+                        best = run_stream
+                if best is None or best.head is None:
+                    break
+                yield best.head
+                best.step()
+
+    def stream_reverse(
+        self, bound: bytes | None, block_source: BlockSource
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """All internal entries < ``bound`` in descending internal-key order.
+
+        Walks segments from :meth:`locate`\\ (``bound``) downward; within a
+        segment, member runs are read forward from their cursors, clipped at
+        the segment/bound upper limit (blocks past the clip are never
+        fetched), sorted once, and yielded reversed.
+        """
+        if not self.segments:
+            return
+        first_anchor = self.segments[0].anchor
+        if bound is not None and compare_internal(bound, first_anchor) <= 0:
+            return
+        start = self.locate(bound) if bound is not None else len(self.segments) - 1
+        for i in range(start, -1, -1):
+            seg = self.segments[i]
+            upper = (
+                self.segments[i + 1].anchor if i + 1 < len(self.segments) else None
+            )
+            if bound is not None and (
+                upper is None or compare_internal(bound, upper) < 0
+            ):
+                upper = bound
+            entries: list[tuple[bytes, bytes]] = []
+            for cur in seg.cursors:
+                run = self.tables[cur.number]
+                for idx, ref in enumerate(run.blocks[cur.ordinal :]):
+                    block = Block(block_source(run.number, ref), compare_internal)
+                    pairs = block.seek(seg.anchor) if idx == 0 else iter(block)
+                    clipped = False
+                    for key, value in pairs:
+                        if upper is not None and compare_internal(key, upper) >= 0:
+                            clipped = True
+                            break
+                        entries.append((key, value))
+                    if clipped:
+                        break
+            entries.sort(key=lambda pair: InternalKeyOrder(pair[0]))
+            yield from reversed(entries)
+
+    def point_candidates(
+        self, user_key: bytes, lookup: bytes
+    ) -> list[tuple[TableRun, BlockRef]]:
+        """Candidate (run, block) pairs for a point lookup, newest first.
+
+        One binary search locates the single segment holding every internal
+        entry of ``user_key`` (anchors are user-key starts), then member
+        runs are filtered by user-key range and ordered exactly like
+        ``Version.files_for_user_key``: L0 newest-first, then levels
+        ascending (levels > 0 are non-overlapping, so at most one run per
+        level survives the range filter).
+        """
+        if not self.segments:
+            return []
+        seg = self.segments[
+            self.locate(make_internal_key(user_key, MAX_SEQUENCE, TYPE_VALUE))
+        ]
+        ordered = sorted(
+            seg.cursors,
+            key=lambda cur: (
+                (0, -cur.number)
+                if self.tables[cur.number].level == 0
+                else (self.tables[cur.number].level, 0)
+            ),
+        )
+        out: list[tuple[TableRun, BlockRef]] = []
+        for cur in ordered:
+            run = self.tables[cur.number]
+            if not (
+                extract_user_key(run.smallest)
+                <= user_key
+                <= extract_user_key(run.largest)
+            ):
+                continue
+            ref = run.block_for(lookup)
+            if ref is not None:
+                out.append((run, ref))
+        return out
+
+
+class _RunStream:
+    """Lazy forward cursor over one run's blocks from a segment cursor.
+
+    Fetches blocks on demand through the block source; while seeking, whole
+    blocks below the seek target are skipped without being fetched.
+    """
+
+    __slots__ = ("head", "_entries")
+
+    def __init__(
+        self,
+        run: TableRun,
+        ordinal: int,
+        seek: bytes | None,
+        block_source: BlockSource,
+    ) -> None:
+        self._entries = self._walk(run, ordinal, seek, block_source)
+        self.head: tuple[bytes, bytes] | None = next(self._entries, None)
+
+    @staticmethod
+    def _walk(
+        run: TableRun,
+        ordinal: int,
+        seek: bytes | None,
+        block_source: BlockSource,
+    ) -> Iterator[tuple[bytes, bytes]]:
+        emitted = False
+        for ref in run.blocks[ordinal:]:
+            seeking = not emitted and seek is not None
+            if seeking and compare_internal(ref.last_key, seek or b"") < 0:
+                continue  # whole block below the seek target: never fetched
+            block = Block(block_source(run.number, ref), compare_internal)
+            pairs = block.seek(seek) if seeking and seek is not None else iter(block)
+            for key, value in pairs:
+                emitted = True
+                yield key, value
+
+    def step(self) -> None:
+        self.head = next(self._entries, None)
+
+
+def rebuild_view(
+    stamp: int, old: SortedView | None, tables: dict[int, TableRun]
+) -> tuple[SortedView, ViewBuildStats]:
+    """Build the view for a new version, splicing in unchanged segments.
+
+    ``tables`` is the complete run set of the new version.  Runs are
+    *changed* when added, removed, or re-keyed; level-only changes (trivial
+    moves) keep every segment.  Segments strictly below the changed window
+    (``next anchor <= min changed normalized smallest``) and strictly above
+    it (``anchor > max changed largest``) are reused verbatim — changed runs
+    provably cannot be members of, or contribute anchors to, those segments.
+    The window in between is re-derived from the new runs' block maps, with
+    the window's lower edge forced as an anchor to keep the partition
+    contiguous.
+    """
+    stats = ViewBuildStats()
+    if not tables:
+        return SortedView(stamp), stats
+    if old is None or not old.segments:
+        view = _full_build(stamp, tables)
+        stats.segments_rebuilt = len(view.segments)
+        return view, stats
+
+    changed: list[TableRun] = []
+    for number, run in tables.items():
+        prev = old.tables.get(number)
+        if prev is None or (
+            prev.blocks != run.blocks
+            or prev.smallest != run.smallest
+            or prev.largest != run.largest
+        ):
+            changed.append(run)
+    for number, prev in old.tables.items():
+        if number not in tables:
+            changed.append(prev)
+    if not changed:
+        stats.segments_reused = len(old.segments)
+        return SortedView(stamp, dict(tables), list(old.segments)), stats
+
+    window_lo = min(
+        (user_key_anchor(run.smallest) for run in changed), key=InternalKeyOrder
+    )
+    window_hi = max((run.largest for run in changed), key=InternalKeyOrder)
+    anchors = [seg.anchor for seg in old.segments]
+    count = len(anchors)
+    prefix_end = 0
+    for i in range(count):
+        nxt = anchors[i + 1] if i + 1 < count else None
+        if nxt is None or compare_internal(nxt, window_lo) > 0:
+            prefix_end = i
+            break
+    suffix_start = count
+    for i in range(count - 1, -1, -1):
+        if compare_internal(anchors[i], window_hi) > 0:
+            suffix_start = i
+        else:
+            break
+    suffix_start = max(suffix_start, prefix_end)
+
+    mid_lo = anchors[prefix_end]
+    if prefix_end == 0 and compare_internal(window_lo, mid_lo) < 0:
+        # A changed run extends below the view's first anchor: the window's
+        # lower edge must move down with it, else keys below the old first
+        # anchor belong to no segment and vanish from the view.
+        mid_lo = window_lo
+    mid_hi = anchors[suffix_start] if suffix_start < count else None
+    runs = sorted(tables.values(), key=lambda run: run.number)
+    mid_anchor_set = {mid_lo}
+    for run in runs:
+        if compare_internal(run.largest, mid_lo) < 0:
+            continue
+        if mid_hi is not None and compare_internal(run.smallest, mid_hi) >= 0:
+            continue
+        candidates = [user_key_anchor(run.smallest)]
+        candidates.extend(user_key_anchor(ref.last_key) for ref in run.blocks)
+        for anchor in candidates:
+            if compare_internal(anchor, mid_lo) >= 0 and (
+                mid_hi is None or compare_internal(anchor, mid_hi) < 0
+            ):
+                mid_anchor_set.add(anchor)
+    mid_anchors = sorted(mid_anchor_set, key=InternalKeyOrder)
+    mid_segments: list[ViewSegment] = []
+    for i, anchor in enumerate(mid_anchors):
+        nxt = mid_anchors[i + 1] if i + 1 < len(mid_anchors) else mid_hi
+        mid_segments.append(_segment(anchor, nxt, runs))
+
+    segments = (
+        list(old.segments[:prefix_end])
+        + mid_segments
+        + list(old.segments[suffix_start:])
+    )
+    stats.segments_reused = prefix_end + (count - suffix_start)
+    stats.segments_rebuilt = len(mid_segments)
+    return SortedView(stamp, dict(tables), segments), stats
+
+
+def _full_build(stamp: int, tables: dict[int, TableRun]) -> SortedView:
+    runs = sorted(tables.values(), key=lambda run: run.number)
+    anchor_set: set[bytes] = set()
+    for run in runs:
+        anchor_set.add(user_key_anchor(run.smallest))
+        for ref in run.blocks:
+            anchor_set.add(user_key_anchor(ref.last_key))
+    anchors = sorted(anchor_set, key=InternalKeyOrder)
+    segments = []
+    for i, anchor in enumerate(anchors):
+        nxt = anchors[i + 1] if i + 1 < len(anchors) else None
+        segments.append(_segment(anchor, nxt, runs))
+    return SortedView(stamp, dict(tables), segments)
+
+
+def _segment(
+    anchor: bytes, next_anchor: bytes | None, runs: Sequence[TableRun]
+) -> ViewSegment:
+    cursors: list[SegmentCursor] = []
+    for run in runs:
+        if compare_internal(run.largest, anchor) < 0:
+            continue
+        if next_anchor is not None and compare_internal(run.smallest, next_anchor) >= 0:
+            continue
+        cursors.append(SegmentCursor(run.number, _cursor_ordinal(run, anchor)))
+    return ViewSegment(anchor, tuple(cursors))
+
+
+def _cursor_ordinal(run: TableRun, anchor: bytes) -> int:
+    """First block whose last key is >= ``anchor`` (exists for members)."""
+    lo, hi = 0, len(run.blocks)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if compare_internal(run.blocks[mid].last_key, anchor) < 0:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def view_matches_files(
+    view: SortedView, files: Sequence[Sequence[object]]
+) -> bool:
+    """True when the view describes exactly ``files`` (a version's levels)."""
+    expected: dict[int, tuple[int, bytes, bytes]] = {}
+    for level, metas in enumerate(files):
+        for meta in metas:
+            number = getattr(meta, "number")
+            expected[int(number)] = (
+                level,
+                getattr(meta, "smallest"),
+                getattr(meta, "largest"),
+            )
+    actual = {
+        number: (run.level, run.smallest, run.largest)
+        for number, run in view.tables.items()
+    }
+    return expected == actual
+
+
+def encode_view(view: SortedView) -> bytes:
+    """Serialize a view: versioned header, runs, segments, CRC trailer."""
+    out = bytearray()
+    out.append(_VIEW_MAGIC)
+    out.append(_VIEW_FORMAT_VERSION)
+    out += encode_varint(view.stamp)
+    out += encode_varint(len(view.tables))
+    for number in sorted(view.tables):
+        run = view.tables[number]
+        out += encode_varint(number)
+        out += encode_varint(run.level)
+        put_length_prefixed(out, run.smallest)
+        put_length_prefixed(out, run.largest)
+        out += encode_varint(len(run.blocks))
+        for ref in run.blocks:
+            put_length_prefixed(out, ref.last_key)
+            out += encode_varint(ref.offset)
+            out += encode_varint(ref.size)
+    out += encode_varint(len(view.segments))
+    for seg in view.segments:
+        put_length_prefixed(out, seg.anchor)
+        out += encode_varint(len(seg.cursors))
+        for cur in seg.cursors:
+            out += encode_varint(cur.number)
+            out += encode_varint(cur.ordinal)
+    out += encode_fixed32(masked_crc32(bytes(out)))
+    return bytes(out)
+
+
+def decode_view(data: bytes) -> SortedView:
+    """Inverse of :func:`encode_view`; raises ``CorruptionError`` on damage."""
+    if len(data) < 6:
+        raise CorruptionError("sorted view payload truncated")
+    body, trailer = data[:-4], data[-4:]
+    if not verify_masked_crc32(body, decode_fixed32(trailer)):
+        raise CorruptionError("sorted view checksum mismatch")
+    if body[0] != _VIEW_MAGIC:
+        raise CorruptionError("bad sorted view magic")
+    if body[1] != _VIEW_FORMAT_VERSION:
+        raise CorruptionError(f"unsupported sorted view format {body[1]}")
+    pos = 2
+    stamp, pos = decode_varint(body, pos)
+    table_count, pos = decode_varint(body, pos)
+    tables: dict[int, TableRun] = {}
+    for _ in range(table_count):
+        number, pos = decode_varint(body, pos)
+        level, pos = decode_varint(body, pos)
+        smallest, pos = get_length_prefixed(body, pos)
+        largest, pos = get_length_prefixed(body, pos)
+        block_count, pos = decode_varint(body, pos)
+        refs: list[BlockRef] = []
+        for _ in range(block_count):
+            last_key, pos = get_length_prefixed(body, pos)
+            offset, pos = decode_varint(body, pos)
+            size, pos = decode_varint(body, pos)
+            refs.append(BlockRef(last_key, offset, size))
+        tables[number] = TableRun(number, level, smallest, largest, tuple(refs))
+    segment_count, pos = decode_varint(body, pos)
+    segments: list[ViewSegment] = []
+    for _ in range(segment_count):
+        anchor, pos = get_length_prefixed(body, pos)
+        cursor_count, pos = decode_varint(body, pos)
+        cursors: list[SegmentCursor] = []
+        for _ in range(cursor_count):
+            number, pos = decode_varint(body, pos)
+            ordinal, pos = decode_varint(body, pos)
+            cursors.append(SegmentCursor(number, ordinal))
+        segments.append(ViewSegment(anchor, tuple(cursors)))
+    if pos != len(body):
+        raise CorruptionError("sorted view payload has trailing bytes")
+    return SortedView(stamp, tables, segments)

@@ -37,6 +37,7 @@ class TableCache:
         self.loader_wrapper = loader_wrapper
         self.footer_source = footer_source
         self._readers: dict[int, TableReader] = {}
+        self._loaders: dict[int, tuple[str, BlockLoader]] = {}
 
     def get_reader(self, number: int) -> TableReader:
         reader = self._readers.get(number)
@@ -55,6 +56,33 @@ class TableCache:
             self._readers[number] = reader
         return reader
 
+    def data_loader(self, number: int) -> tuple[str, BlockLoader]:
+        """(file_name, loader) for data-block reads without a TableReader.
+
+        The sorted view already knows every block's handle, so view scans
+        skip reader construction entirely — no footer/index/filter I/O —
+        and fetch data blocks straight through the same wrapped loader
+        chain (block cache, pcache, prefetch buffers) a reader would use.
+        """
+        cached = self._loaders.get(number)
+        if cached is not None:
+            return cached
+        name = table_file_name(self.prefix, number)
+        reader = self._readers.get(number)
+        if reader is not None:
+            # Reuse the open reader's file + loader chain (and any
+            # readahead state accumulated on it).
+            entry = (name, reader.loader)
+            self._loaders[number] = entry
+            return entry
+        file = self.env.new_random_access_file(name)
+        loader = direct_block_loader(file, verify=self.options.paranoid_checks)
+        if self.loader_wrapper is not None:
+            loader = self.loader_wrapper(name, file, loader)
+        entry = (name, loader)
+        self._loaders[number] = entry
+        return entry
+
     def has_reader(self, number: int) -> bool:
         """Is a reader for this table already open (no I/O either way)?
 
@@ -66,9 +94,11 @@ class TableCache:
     def evict(self, number: int) -> None:
         """Forget a deleted table's reader."""
         self._readers.pop(number, None)
+        self._loaders.pop(number, None)
 
     def clear(self) -> None:
         self._readers.clear()
+        self._loaders.clear()
 
     def __len__(self) -> int:
         return len(self._readers)

@@ -92,6 +92,11 @@ class TableReader:
             payload = self._loader(self.name, footer.filter_handle, "filter")
             self._parse_filter(payload)
 
+    @property
+    def loader(self) -> BlockLoader:
+        """The reader's (possibly wrapped) block loader chain."""
+        return self._loader
+
     def _parse_filter(self, payload: bytes) -> None:
         from repro.lsm.format import (
             FILTER_PARTITIONED,
@@ -160,7 +165,36 @@ class TableReader:
             _ = index_key
         return None
 
+    def get_at(self, target: bytes, handle: BlockHandle) -> tuple[bytes, bytes] | None:
+        """:meth:`get`, with the candidate block already known.
+
+        The sorted view's per-run block maps replicate the index block, so
+        a point lookup routed through the view skips the index seek and
+        jumps straight to the one data block that can hold ``target`` —
+        bloom and partition probes still apply.
+        """
+        user_key = extract_user_key(target)
+        if not self.may_contain(user_key):
+            return None
+        if not self._partition_may_contain(user_key, handle):
+            return None
+        for key, value in self._load_data_block(handle).seek(target):
+            return key, value
+        return None
+
     # -- iteration ----------------------------------------------------------
+
+    def block_refs(self) -> list[tuple[bytes, BlockHandle]]:
+        """(last_key, handle) per data block, decoded from the index.
+
+        No data-block I/O — this is how the sorted view derives a run's
+        block map for tables whose flush/compaction metadata is gone.
+        """
+        out = []
+        for last_key, handle_bytes in self._index:
+            handle, _ = decode_handle(handle_bytes)
+            out.append((last_key, handle))
+        return out
 
     def first_data_handle(self, target: bytes | None = None) -> BlockHandle | None:
         """Handle of the first data block a scan from ``target`` reads.
@@ -194,6 +228,60 @@ class TableReader:
             handle, _ = decode_handle(handle_bytes)
             block_entries = list(self._load_data_block(handle))
             yield from reversed(block_entries)
+
+    def seek_reverse(self, bound: bytes) -> Iterator[tuple[bytes, bytes]]:
+        """Entries with internal key < ``bound`` in *descending* order.
+
+        Binary-searches the index for the boundary block — the last block
+        that can hold a key below ``bound`` — and walks back to front from
+        there. Blocks wholly at/above ``bound`` are never fetched, unlike
+        :meth:`reverse_iter`, which always reads the table's entire tail.
+        """
+        index_entries = list(self._index)
+        lo, hi = 0, len(index_entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if compare_internal(index_entries[mid][0], bound) < 0:
+                lo = mid + 1
+            else:
+                hi = mid
+        # lo = first block whose last key >= bound (it may still hold keys
+        # below the bound; everything after it cannot).
+        start = lo if lo < len(index_entries) else len(index_entries) - 1
+        for i in range(start, -1, -1):
+            handle, _ = decode_handle(index_entries[i][1])
+            block_entries = list(self._load_data_block(handle))
+            if i == lo:
+                block_entries = [
+                    entry
+                    for entry in block_entries
+                    if compare_internal(entry[0], bound) < 0
+                ]
+            yield from reversed(block_entries)
+
+    def last_data_handle(self, bound: bytes | None = None) -> BlockHandle | None:
+        """Handle of the first block a reverse scan bounded by ``bound`` reads.
+
+        Index-only, mirroring :meth:`first_data_handle` for reverse scans:
+        the boundary block when ``bound`` is given, else the table's last
+        block.
+        """
+        index_entries = list(self._index)
+        if not index_entries:
+            return None
+        idx = len(index_entries) - 1
+        if bound is not None:
+            lo, hi = 0, len(index_entries)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if compare_internal(index_entries[mid][0], bound) < 0:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            if lo < len(index_entries):
+                idx = lo
+        handle, _ = decode_handle(index_entries[idx][1])
+        return handle
 
     def seek(self, target: bytes) -> Iterator[tuple[bytes, bytes]]:
         """Entries with internal key >= ``target`` in order."""

@@ -31,12 +31,14 @@ from repro.storage.local import LocalDevice
 from repro.util.crc import masked_crc32, verify_masked_crc32
 from repro.util.varint import decode_varint, encode_varint
 
-_KIND_META = 0x4D  # 'M' — pinned metadata block (index/filter/footer)
+_KIND_META = 0x4D  # 'M' — pinned metadata block (index/filter/footer/view)
 _KIND_DATA = 0x44  # 'D' — evictable data block
 _KIND_TOMB = 0x54  # 'T' — whole-file tombstone
 
 # Metadata records reuse the block_offset field as a kind disambiguator.
-_META_OFFSETS = {"index": 0, "filter": 1, "footer": 2}
+# "view" holds a serialized sorted-view payload (one pseudo-file per view
+# stamp — put_meta pins first-write-wins, so stamps never collide).
+_META_OFFSETS = {"index": 0, "filter": 1, "footer": 2, "view": 3}
 _META_KINDS = {offset: kind for kind, offset in _META_OFFSETS.items()}
 
 

@@ -38,10 +38,11 @@ at any time, so a short scan abandons at most ``depth`` tables.
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
-from repro.lsm.format import table_file_name
+from repro.lsm.format import BlockHandle, table_file_name
 from repro.lsm.table_cache import TableCache
 from repro.lsm.version import FileMetaData
 from repro.mash.readahead import ReadaheadBuffer
@@ -98,20 +99,27 @@ class ScanPrefetcher:
         self._ripe: set[int] = set()
         self._seen: set[int] = set()
         self._carry_source: ReadaheadBuffer | None = None
+        self._view_upcoming: deque[tuple[int, BlockHandle]] = deque()
         self._finished = False
 
     # -- hooks called from DB.scan / DB._level_iter -------------------------
 
     def seek_fanout(
-        self, metas: Sequence[FileMetaData], target: bytes | None
+        self,
+        metas: Sequence[FileMetaData],
+        target: bytes | None,
+        *,
+        reverse: bool = False,
     ) -> None:
         """Open the scan's initial readers as parallel branches.
 
         ``metas`` are the in-range L0 files plus each level's first
-        in-range table — exactly the readers the merge heap touches on its
-        first pull. All opens are charged concurrently and joined strictly
-        before consumption starts: the seek pays one slowest open instead
-        of a serial chain of them.
+        in-range table (its *last* for a reverse scan) — exactly the
+        readers the merge heap touches on its first pull. All opens are
+        charged concurrently and joined strictly before consumption
+        starts: the seek pays one slowest open instead of a serial chain
+        of them. For reverse scans ``target`` is the exclusive upper
+        bound and priming starts at each table's boundary block.
         """
         todo = [m for m in metas if m.number not in self._seen]
         if not todo:
@@ -127,14 +135,94 @@ class ScanPrefetcher:
                 # speculative transfer. Pipelined prefetches, which never
                 # block, prime the full ``prime_bytes``.
                 self._open_and_prime(
-                    meta, target, prime_limit=ReadaheadBuffer.INITIAL_READAHEAD
+                    meta,
+                    target,
+                    prime_limit=ReadaheadBuffer.INITIAL_READAHEAD,
+                    reverse=reverse,
                 )
         region.join()
         self.stats.fanout_opens += len(todo)
         self.tracer.event("seek_fanout")
 
+    def view_fanout(
+        self,
+        initial: Sequence[tuple[int, BlockHandle]],
+        upcoming: Sequence[tuple[int, BlockHandle]] = (),
+    ) -> None:
+        """Fan out a sorted-view scan from its exact block plan.
+
+        The view names the precise ``(table_number, block_handle)`` each
+        run fetches first, so — unlike :meth:`seek_fanout` — no TableReader
+        is ever constructed: an open costs one primed data GET instead of
+        footer+index+filter round trips. ``initial`` (the seek segment's
+        runs) is opened as parallel branches and joined strictly;
+        ``upcoming`` (runs that join in later segments, first-touched
+        order) is primed speculatively up to ``depth`` in flight and
+        joined — or written off as waste — via :meth:`view_started`.
+        """
+        todo = [(n, h) for n, h in initial if n not in self._seen]
+        if todo:
+            region = ForkJoinRegion(self.clock, self.hosts)
+            for number, handle in todo:
+                self._seen.add(number)
+                with region.branch():
+                    self._prime_handle(
+                        number, handle, prime_limit=ReadaheadBuffer.INITIAL_READAHEAD
+                    )
+            region.join()
+            self.stats.fanout_opens += len(todo)
+            self.tracer.event("seek_fanout")
+        self._view_upcoming.extend(upcoming)
+        self._view_top_up()
+
+    def _view_top_up(self) -> None:
+        """Keep up to ``depth`` of the view plan's upcoming runs in flight."""
+        while self._view_upcoming and len(self._pending) < self.depth:
+            number, handle = self._view_upcoming.popleft()
+            if number in self._seen:
+                continue
+            self._seen.add(number)
+            if not self.is_cloud(self._name_of_number(number)):
+                continue  # local opens are cheap; open on demand
+            region = ForkJoinRegion(self.clock, self.hosts)
+            with region.branch():
+                self._prime_handle(number, handle)
+            self._pending[number] = region
+            self.stats.issued += 1
+            self.tracer.event("prefetch_issue")
+
+    def view_started(self, number: int) -> None:
+        """The view stream fetched its first block of run ``number``.
+
+        The view-scan analogue of :meth:`table_started`'s join half: the
+        run's speculative branch (if any) is merged — hidden latency costs
+        the parent nothing — and fully-hidden branches are reaped to free
+        pipeline slots.
+        """
+        if number in self._ripe:
+            self._ripe.discard(number)
+            self.stats.hits += 1
+            self.tracer.event("prefetch_hit")
+        else:
+            region = self._pending.pop(number, None)
+            if region is not None:
+                region.join(strict=False)
+                self.stats.hits += 1
+                self.tracer.event("prefetch_hit")
+        self._reap_ripe()
+        source = self.buffers.get(self._name_of_number(number))
+        if source is not None:
+            # Later primed runs inherit the scan's grown window.
+            self._carry_source = source
+        self._view_top_up()
+
     def table_started(
-        self, files: Sequence[FileMetaData], index: int, target: bytes | None
+        self,
+        files: Sequence[FileMetaData],
+        index: int,
+        target: bytes | None,
+        *,
+        reverse: bool = False,
     ) -> None:
         """A level iterator is about to consume ``files[index]``.
 
@@ -170,7 +258,7 @@ class ScanPrefetcher:
                 self.prime_bytes <= 0 or self.readahead_bytes <= 0
             ):
                 continue  # already open and nothing to prime: free handoff
-            self._issue(meta, target)
+            self._issue(meta, target, reverse=reverse)
 
     def finish(self) -> None:
         """Scan ended: abandon outstanding prefetches and unregister.
@@ -195,10 +283,15 @@ class ScanPrefetcher:
     def _name_of(self, meta: FileMetaData) -> str:
         return table_file_name(self.table_cache.prefix, meta.number)
 
-    def _issue(self, meta: FileMetaData, target: bytes | None) -> None:
+    def _name_of_number(self, number: int) -> str:
+        return table_file_name(self.table_cache.prefix, number)
+
+    def _issue(
+        self, meta: FileMetaData, target: bytes | None, *, reverse: bool = False
+    ) -> None:
         region = ForkJoinRegion(self.clock, self.hosts)
         with region.branch():
-            self._open_and_prime(meta, target)
+            self._open_and_prime(meta, target, reverse=reverse)
         self._pending[meta.number] = region
         self.stats.issued += 1
         self.tracer.event("prefetch_issue")
@@ -241,6 +334,8 @@ class ScanPrefetcher:
         meta: FileMetaData,
         target: bytes | None,
         prime_limit: int | None = None,
+        *,
+        reverse: bool = False,
     ) -> None:
         reader = self.table_cache.get_reader(meta.number)
         name = self._name_of(meta)
@@ -254,7 +349,11 @@ class ScanPrefetcher:
             or not self.is_cloud(name)
         ):
             return
-        handle = reader.first_data_handle(target)
+        handle = (
+            reader.last_data_handle(target)
+            if reverse
+            else reader.first_data_handle(target)
+        )
         if handle is None:
             return
         carry = (
@@ -264,6 +363,45 @@ class ScanPrefetcher:
         )
         buffer = ReadaheadBuffer(
             reader.file,
+            readahead_bytes=self.readahead_bytes,
+            verify=self.verify,
+            initial_window=carry,
+        )
+        if reverse:
+            buffer.prime_reverse(handle, prime_bytes)
+        else:
+            buffer.prime(handle, prime_bytes)
+        self.buffers[name] = buffer
+
+    def _prime_handle(
+        self, number: int, handle: BlockHandle, prime_limit: int | None = None
+    ) -> None:
+        """Prime a known data block without constructing a TableReader.
+
+        The sorted view already resolved the exact handle, so the file is
+        opened directly — no footer/index/filter reads — and the block
+        range is pulled into a primed :class:`ReadaheadBuffer` that the
+        store's loader chain serves from when the stream arrives.
+        """
+        name = self._name_of_number(number)
+        prime_bytes = self.prime_bytes
+        if prime_limit is not None:
+            prime_bytes = min(prime_bytes, prime_limit)
+        if (
+            prime_bytes <= 0
+            or self.readahead_bytes <= 0
+            or name in self.buffers
+            or not self.is_cloud(name)
+        ):
+            return
+        file = self.table_cache.env.new_random_access_file(name)
+        carry = (
+            self._carry_source.current_window
+            if self._carry_source is not None
+            else None
+        )
+        buffer = ReadaheadBuffer(
+            file,
             readahead_bytes=self.readahead_bytes,
             verify=self.verify,
             initial_window=carry,

@@ -114,6 +114,27 @@ class ReadaheadBuffer:
         self._expected_rev = -1
         self._streak = 2
 
+    def prime_reverse(self, handle: BlockHandle, length: int) -> None:
+        """:meth:`prime` for a reverse scan entering at ``handle``.
+
+        A reverse scan consumes *downward* from its boundary block, so the
+        speculative fetch covers the range that **ends** at the block (the
+        same shape the descending streak detector fetches) — priming
+        forward from the table's last block would buffer bytes past the
+        end of the file and hide nothing.
+        """
+        raw_len = handle.size + BLOCK_TRAILER_SIZE
+        length = max(length, raw_len)
+        end = handle.offset + raw_len
+        start = max(0, end - length)
+        self._buffer = self.file.read(start, end - start)
+        self._buffer_base = start
+        self.stats.fetches += 1
+        self.stats.fetched_bytes += len(self._buffer)
+        self._expected_fwd = handle.offset  # first get() serves the boundary
+        self._expected_rev = -1
+        self._streak = 2
+
     def get(self, handle: BlockHandle) -> bytes | None:
         """Serve a data-block read if it continues a sequential run.
 

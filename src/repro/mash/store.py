@@ -167,6 +167,61 @@ class MashDB(DB):
     _WAL_KIND = "xlog"
 
 
+# Serializing / decoding a view payload is a memory walk, not I/O.
+_VIEW_CODEC_BASE_COST = 20e-6
+_VIEW_CODEC_COST_PER_BYTE = 2e-9
+
+
+class PCacheViewStore:
+    """Sorted-view persistence on the pcache's pinned-metadata slab.
+
+    Each view generation lands under a per-stamp pseudo-file name (the
+    pcache pins metadata first-write-wins, so stamps never collide) and
+    the previous generation's record is tombstoned on the next persist.
+    Payloads live on the local device: reloading the view at recovery
+    costs local reads only, never a cloud round trip.
+    """
+
+    def __init__(
+        self,
+        pcache: PersistentCache,
+        prefix: str,
+        *,
+        clock: SimClock,
+        tracer,
+    ) -> None:
+        self.pcache = pcache
+        self.prefix = prefix
+        self.clock = clock
+        self.tracer = tracer
+        self._last_stamp: int | None = None
+
+    def _name(self, stamp: int) -> str:
+        return f"{self.prefix}view-{stamp:06d}"
+
+    def persist(self, stamp: int, payload: bytes) -> None:
+        cost = _VIEW_CODEC_BASE_COST + _VIEW_CODEC_COST_PER_BYTE * len(payload)
+        self.clock.advance(cost)
+        self.tracer.charge("cpu", cost)
+        self.pcache.put_meta(self._name(stamp), "view", payload)
+        if self._last_stamp is not None and self._last_stamp != stamp:
+            self.pcache.drop_file(self._name(self._last_stamp))
+        self._last_stamp = stamp
+        self.tracer.event("view_persist")
+
+    def load(self, stamp: int) -> bytes | None:
+        payload = self.pcache.get_meta(self._name(stamp), "view")
+        if payload is None:
+            return None
+        cost = _VIEW_CODEC_BASE_COST + _VIEW_CODEC_COST_PER_BYTE * len(payload)
+        self.clock.advance(cost)
+        self.tracer.charge("cpu", cost)
+        # Remember the recovered generation so the next persist tombstones it.
+        self._last_stamp = stamp
+        self.tracer.event("view_load")
+        return payload
+
+
 class RocksMashStore(StoreFacade):
     """Public facade over the assembled system."""
 
@@ -199,6 +254,9 @@ class RocksMashStore(StoreFacade):
         # being re-fetched. Must exist before MashDB.open builds loaders.
         self._scan_prefetchers: list[ScanPrefetcher] = []
         self._init_facade()
+        self.view_store = PCacheViewStore(
+            self.pcache, config.db_prefix, clock=clock, tracer=self.tracer
+        )
 
         with StopwatchRegion(clock) as sw, self.tracer.span("recovery"):
             self.db = MashDB.open(
@@ -211,9 +269,11 @@ class RocksMashStore(StoreFacade):
                 local_device=local_device,
                 placement_config=config.placement,
                 blob_pcache=self.pcache,
+                view_store=self.view_store,
             )
         self.last_recovery_seconds = sw.elapsed
         self.db.block_fetch_hook = self._on_block_fetch
+        self.db.view_event_hook = self.tracer.event
         if config.options.scan_prefetch_depth > 0:
             self.db.scan_pipeline_factory = self._make_scan_prefetcher
 

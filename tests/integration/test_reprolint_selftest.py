@@ -107,6 +107,49 @@ class TestMutationSelfTests:
         assert [f.rule for f in findings] == ["RL003"]
         assert "bloblog.gc_before_segment_delete" in findings[0].message
 
+    def test_deleting_view_persist_tier_charge_fails_rl002(self, tree_copy):
+        # Sorted-view persistence models its codec cost on the CPU tier;
+        # dropping the tracer mirror must trip the charge-attribution gate.
+        mutate(
+            tree_copy / "mash" / "store.py",
+            "        cost = _VIEW_CODEC_BASE_COST + _VIEW_CODEC_COST_PER_BYTE * len(payload)\n"
+            "        self.clock.advance(cost)\n"
+            '        self.tracer.charge("cpu", cost)\n'
+            '        self.pcache.put_meta(self._name(stamp), "view", payload)\n',
+            "        cost = _VIEW_CODEC_BASE_COST + _VIEW_CODEC_COST_PER_BYTE * len(payload)\n"
+            "        self.clock.advance(cost)\n"
+            '        self.pcache.put_meta(self._name(stamp), "view", payload)\n',
+        )
+        findings = findings_for(tree_copy.parent)
+        assert [(f.rule, f.path.endswith("mash/store.py")) for f in findings] == [
+            ("RL002", True)
+        ]
+
+    def test_wall_clock_read_in_sortedview_fails_rl001(self, tree_copy):
+        # The view module is pure (no clock), but it still lives on the
+        # simulated path: a wall-clock read sneaking in must be caught.
+        path = tree_copy / "lsm" / "sortedview.py"
+        path.write_text(
+            path.read_text(encoding="utf-8")
+            + "\nimport time\n\n_VIEW_T0 = time.time()\n",
+            encoding="utf-8",
+        )
+        findings = findings_for(tree_copy.parent)
+        assert {f.rule for f in findings} == {"RL001"}
+        assert all(f.path.endswith("lsm/sortedview.py") for f in findings)
+
+    def test_removing_view_persist_reach_site_fails_rl003(self, tree_copy):
+        # The before-persist site is what proves a crash between the file
+        # edit and the view persist leaves a recoverable (fallback) store.
+        mutate(
+            tree_copy / "lsm" / "db.py",
+            'crash_points.reach("view.before_persist")',
+            "pass",
+        )
+        findings = findings_for(tree_copy.parent)
+        assert [f.rule for f in findings] == ["RL003"]
+        assert "view.before_persist" in findings[0].message
+
     def test_wall_clock_read_fails_rl001(self, tree_copy):
         path = tree_copy / "util" / "crc.py"
         path.write_text(

@@ -4,13 +4,18 @@ import random
 
 import pytest
 
+from repro.bench.harness import HarnessKnobs, make_store
 from repro.errors import InvalidArgumentError
 from repro.lsm.db import DB
+from repro.lsm.format import table_file_name
 from repro.lsm.options import Options
 from repro.mash.store import RocksMashStore, StoreConfig
 from repro.sim.clock import SimClock
 from repro.storage.env import LocalEnv
 from repro.storage.local import LocalDevice
+from repro.util.encoding import MAX_SEQUENCE, TYPE_VALUE, compare_internal, make_internal_key
+from repro.workloads import dbbench
+from repro.workloads.generator import make_key
 
 
 def small_options():
@@ -101,6 +106,136 @@ class TestReverseScan:
         assert [k for k, _ in got] == [
             f"key{i:05d}".encode() for i in range(999, 994, -1)
         ]
+
+
+class TestReverseSeekBlockReads:
+    """A bounded reverse scan must not fetch blocks above its bound.
+
+    Before ``TableReader.seek_reverse``, ``scan_reverse`` walked every
+    table's whole tail through ``reverse_iter`` regardless of ``end`` —
+    this pins the fix with an exact per-block assertion.
+    """
+
+    def _open_counting_db(self):
+        fetches = []
+
+        def wrapper(name, file, next_loader):
+            def load(n, handle, kind):
+                if kind == "data":
+                    fetches.append((n, handle.offset))
+                return next_loader(n, handle, kind)
+
+            return load
+
+        database = DB.open(
+            LocalEnv(LocalDevice(SimClock())), "db/", small_options(),
+            loader_wrapper=wrapper,
+        )
+        return database, fetches
+
+    def test_tight_end_reverse_scan_fetches_no_out_of_range_blocks(self):
+        db, fetches = self._open_counting_db()
+        try:
+            for i in range(2000):
+                db.put(f"key{i:05d}".encode(), f"value{i:05d}".encode() * 4)
+            db.compact_range()
+            refs = {}
+            for _level, meta in db.versions.current.all_files():
+                reader = db.table_cache.get_reader(meta.number)
+                refs[table_file_name("db/", meta.number)] = reader.block_refs()
+
+            fetches.clear()
+            full = list(db.scan_reverse())
+            assert len(full) == 2000
+            full_fetches = len(fetches)
+
+            fetches.clear()
+            end = b"key00012"
+            got = list(db.scan_reverse(None, end))
+            assert [k for k, _ in got] == [
+                f"key{i:05d}".encode() for i in range(11, -1, -1)
+            ]
+            bound = make_internal_key(end, MAX_SEQUENCE, TYPE_VALUE)
+            for name, offset in fetches:
+                blocks = refs[name]
+                j = next(
+                    i for i, (_k, h) in enumerate(blocks) if h.offset == offset
+                )
+                # Block j holds keys strictly above block j-1's last key, so
+                # fetching it is justified only if that last key is below the
+                # bound; otherwise the whole block is out of range.
+                if j > 0:
+                    assert compare_internal(blocks[j - 1][0], bound) < 0, (
+                        f"{name} fetched out-of-range block at {offset}"
+                    )
+            # And the bounded scan reads a small fraction of the tail walk.
+            assert len(fetches) * 10 <= full_fetches
+        finally:
+            db.close()
+
+    def test_tight_bound_memtable_reverse_scan(self):
+        db, _fetches = self._open_counting_db()
+        try:
+            for i in range(100):
+                db.put(f"key{i:05d}".encode(), b"v")
+            got = list(db.scan_reverse(b"key00003", b"key00007"))
+            assert [k for k, _ in got] == [
+                f"key{i:05d}".encode() for i in range(6, 2, -1)
+            ]
+        finally:
+            db.close()
+
+
+def cold_cloud_store(depth, records=600):
+    """RocksMash with everything below L0 cloud-resident and caches cold."""
+    store = make_store(
+        "rocksmash",
+        HarnessKnobs(
+            scan_prefetch_depth=depth,
+            cloud_level=1,
+            block_cache_bytes=0,
+            pcache_budget_bytes=4 << 10,
+        ),
+    )
+    dbbench.fill_database(store, records)
+    store.db.table_cache.clear()
+    return store
+
+
+class TestReverseScanPrefetchPipeline:
+    """``scan_reverse`` consults ``scan_pipeline_factory`` like ``scan``.
+
+    The forward path gained the prefetch pipeline in an earlier PR but the
+    reverse path silently ignored the factory; these pin the wiring and
+    the cold-cloud latency win it buys.
+    """
+
+    def test_reverse_results_identical_and_faster_with_pipeline(self):
+        base = cold_cloud_store(depth=0)
+        piped = cold_cloud_store(depth=2)
+
+        t0 = base.clock.now
+        expect = base.scan_reverse()
+        base_elapsed = base.clock.now - t0
+
+        t0 = piped.clock.now
+        got = piped.scan_reverse()
+        piped_elapsed = piped.clock.now - t0
+
+        assert got == expect
+        assert base.tracer.event_count("seek_fanout") == 0
+        assert piped.tracer.event_count("seek_fanout") == 1
+        assert piped_elapsed < base_elapsed
+
+    def test_bounded_reverse_scan_waste_stays_bounded(self):
+        store = cold_cloud_store(depth=4)
+        got = store.scan_reverse(None, make_key(40))
+        assert len(got) == 40
+        waste = store.tracer.event_count("prefetch_waste")
+        issued = store.tracer.event_count("prefetch_issue")
+        hits = store.tracer.event_count("prefetch_hit")
+        assert waste <= 4
+        assert hits + waste == issued
 
 
 class TestProperties:

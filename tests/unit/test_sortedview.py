@@ -1,0 +1,303 @@
+"""Unit and property tests for the REMIX-style global sorted view.
+
+The view is a pure in-memory structure with an explicit block source, so
+everything here runs against fabricated runs: entries are chunked into real
+``BlockBuilder`` payloads served from a dict, no Env or tables involved.
+The reference model is the brute-force merge of every run's entries.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CorruptionError
+from repro.lsm.block import BlockBuilder
+from repro.lsm.sortedview import (
+    BlockRef,
+    SortedView,
+    TableRun,
+    decode_view,
+    encode_view,
+    files_crc,
+    rebuild_view,
+    user_key_anchor,
+    view_matches_files,
+)
+from repro.util.encoding import (
+    MAX_SEQUENCE,
+    TYPE_VALUE,
+    InternalKeyOrder,
+    compare_internal,
+    extract_user_key,
+    make_internal_key,
+)
+
+user_keys = st.binary(min_size=1, max_size=6)
+
+
+def build_runs(key_sets, entries_per_block=3):
+    """Fabricate L0 runs + a block source from per-run user-key sets.
+
+    Run ``i`` (1-based numbers) writes every key of ``key_sets[i-1]`` at
+    sequence ``i`` — later runs are newer, matching the L0 invariant that
+    ``point_candidates`` orders by. Internal keys are globally unique.
+    """
+    payloads = {}
+    tables = {}
+    for idx, key_set in enumerate(key_sets):
+        number = idx + 1
+        entries = sorted(
+            (
+                (make_internal_key(k, number, TYPE_VALUE), b"v%d:%s" % (number, k))
+                for k in key_set
+            ),
+            key=lambda e: InternalKeyOrder(e[0]),
+        )
+        if not entries:
+            continue
+        refs = []
+        offset = 0
+        for lo in range(0, len(entries), entries_per_block):
+            chunk = entries[lo : lo + entries_per_block]
+            builder = BlockBuilder(4)
+            for k, v in chunk:
+                builder.add(k, v)
+            payload = builder.finish()
+            payloads[(number, offset)] = payload
+            refs.append(BlockRef(chunk[-1][0], offset, len(payload)))
+            offset += len(payload) + 5
+        tables[number] = TableRun(
+            number, 0, entries[0][0], entries[-1][0], tuple(refs)
+        )
+
+    def source(number, ref):
+        return payloads[(number, ref.offset)]
+
+    merged = sorted(
+        (
+            (make_internal_key(k, i + 1, TYPE_VALUE), b"v%d:%s" % (i + 1, k))
+            for i, key_set in enumerate(key_sets)
+            for k in key_set
+        ),
+        key=lambda e: InternalKeyOrder(e[0]),
+    )
+    return tables, source, merged
+
+
+run_sets = st.lists(
+    st.sets(user_keys, min_size=0, max_size=25), min_size=1, max_size=5
+)
+
+
+class TestStreamEquivalence:
+    @given(run_sets, st.one_of(st.none(), user_keys))
+    @settings(max_examples=120, deadline=None)
+    def test_stream_matches_brute_force_merge(self, key_sets, seek_user):
+        tables, source, merged = build_runs(key_sets)
+        view, _ = rebuild_view(1, None, tables)
+        target = (
+            make_internal_key(seek_user, MAX_SEQUENCE, TYPE_VALUE)
+            if seek_user is not None
+            else None
+        )
+        expected = [
+            e
+            for e in merged
+            if target is None or compare_internal(e[0], target) >= 0
+        ]
+        assert list(view.stream(target, source)) == expected
+
+    @given(run_sets, st.one_of(st.none(), user_keys))
+    @settings(max_examples=120, deadline=None)
+    def test_stream_reverse_matches_brute_force_merge(self, key_sets, bound_user):
+        tables, source, merged = build_runs(key_sets)
+        view, _ = rebuild_view(1, None, tables)
+        bound = (
+            make_internal_key(bound_user, MAX_SEQUENCE, TYPE_VALUE)
+            if bound_user is not None
+            else None
+        )
+        expected = [
+            e
+            for e in reversed(merged)
+            if bound is None or compare_internal(e[0], bound) < 0
+        ]
+        assert list(view.stream_reverse(bound, source)) == expected
+
+    @given(run_sets)
+    @settings(max_examples=80, deadline=None)
+    def test_point_candidates_find_newest_entry(self, key_sets):
+        """Emulating ``_get_at`` over the candidates equals the model."""
+        from repro.lsm.block import Block
+
+        tables, source, merged = build_runs(key_sets)
+        view, _ = rebuild_view(1, None, tables)
+        all_keys = {k for key_set in key_sets for k in key_set}
+        for user_key in all_keys:
+            newest = max(
+                i + 1 for i, key_set in enumerate(key_sets) if user_key in key_set
+            )
+            lookup = make_internal_key(user_key, MAX_SEQUENCE, TYPE_VALUE)
+            found = None
+            for run, ref in view.point_candidates(user_key, lookup):
+                block = Block(source(run.number, ref), compare_internal)
+                for ikey, value in block.seek(lookup):
+                    if extract_user_key(ikey) == user_key:
+                        found = value
+                    break
+                if found is not None:
+                    break
+            assert found == b"v%d:%s" % (newest, user_key)
+
+    @given(run_sets, user_keys)
+    @settings(max_examples=60, deadline=None)
+    def test_tables_for_range_covers_every_touched_run(self, key_sets, begin):
+        tables, source, merged = build_runs(key_sets)
+        view, _ = rebuild_view(1, None, tables)
+        target = make_internal_key(begin, MAX_SEQUENCE, TYPE_VALUE)
+        fanout = view.tables_for_range(target)
+        touched = set()
+
+        def counting(number, ref):
+            touched.add(number)
+            return source(number, ref)
+
+        list(view.stream(target, counting))
+        assert touched <= set(fanout)
+
+
+class TestRebuild:
+    @given(run_sets, st.sets(user_keys, min_size=1, max_size=20))
+    @settings(max_examples=80, deadline=None)
+    def test_incremental_rebuild_equals_full_build(self, key_sets, extra):
+        old_tables, _, _ = build_runs(key_sets)
+        old, _ = rebuild_view(1, None, old_tables)
+        new_tables, source, merged = build_runs(key_sets + [extra])
+        incremental, stats = rebuild_view(2, old, new_tables)
+        full, _ = rebuild_view(2, None, new_tables)
+        assert list(incremental.stream(None, source)) == merged
+        assert list(incremental.stream(None, source)) == list(
+            full.stream(None, source)
+        )
+        assert stats.segments_reused + stats.segments_rebuilt == len(
+            incremental.segments
+        )
+
+    @given(run_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_removal_rebuild_equals_full_build(self, key_sets):
+        tables, _, _ = build_runs(key_sets)
+        old, _ = rebuild_view(1, None, tables)
+        survivors = dict(list(tables.items())[:-1])
+        incremental, _ = rebuild_view(2, old, survivors)
+        full, _ = rebuild_view(2, None, survivors)
+        _, source, _ = build_runs(key_sets)
+        assert list(incremental.stream(None, source)) == list(
+            full.stream(None, source)
+        )
+
+    def test_unchanged_tables_reuse_every_segment(self):
+        tables, _, _ = build_runs([{b"a", b"b", b"c"}, {b"b", b"d"}])
+        old, _ = rebuild_view(1, None, tables)
+        view, stats = rebuild_view(2, old, dict(tables))
+        assert stats.segments_reused == len(old.segments)
+        assert stats.segments_rebuilt == 0
+        assert view.segments == old.segments
+
+    def test_trivial_move_reuses_every_segment(self):
+        """A level-only change (trivial move) must not re-derive anything."""
+        from dataclasses import replace
+
+        tables, _, _ = build_runs([{b"a", b"b", b"c"}, {b"x", b"y"}])
+        old, _ = rebuild_view(1, None, tables)
+        moved = {n: replace(run, level=run.level + 1) for n, run in tables.items()}
+        view, stats = rebuild_view(2, old, moved)
+        assert stats.segments_rebuilt == 0
+        assert view.segments == old.segments
+        assert view.tables[1].level == 1
+
+    def test_empty_table_set_builds_empty_view(self):
+        view, stats = rebuild_view(7, None, {})
+        assert view.segments == [] and view.tables == {}
+        assert stats.segments_rebuilt == 0
+
+    @given(run_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_anchors_strictly_ascending_and_normalized(self, key_sets):
+        tables, _, _ = build_runs(key_sets)
+        view, _ = rebuild_view(1, None, tables)
+        anchors = [seg.anchor for seg in view.segments]
+        for prev, nxt in zip(anchors, anchors[1:]):
+            assert compare_internal(prev, nxt) < 0
+        for anchor in anchors:
+            assert anchor == user_key_anchor(anchor)
+
+
+class TestSerde:
+    @given(run_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, key_sets):
+        tables, _, _ = build_runs(key_sets)
+        view, _ = rebuild_view(9, None, tables)
+        assert decode_view(encode_view(view)) == view
+
+    @given(run_sets, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_any_flipped_byte_is_detected(self, key_sets, data):
+        tables, _, _ = build_runs(key_sets)
+        view, _ = rebuild_view(9, None, tables)
+        payload = bytearray(encode_view(view))
+        pos = data.draw(st.integers(0, len(payload) - 1))
+        payload[pos] ^= 0xFF
+        with pytest.raises(CorruptionError):
+            decode_view(bytes(payload))
+
+    def test_truncation_and_trailing_junk_are_detected(self):
+        tables, _, _ = build_runs([{b"a", b"b"}])
+        payload = encode_view(rebuild_view(1, None, tables)[0])
+        for cut in (0, 3, len(payload) - 1):
+            with pytest.raises(CorruptionError):
+                decode_view(payload[:cut])
+        with pytest.raises(CorruptionError):
+            decode_view(payload + b"\x00")
+
+
+class TestFilesCrc:
+    @given(st.lists(st.integers(1, 1 << 20), max_size=30))
+    def test_order_independent(self, numbers):
+        assert files_crc(numbers) == files_crc(list(reversed(numbers)))
+        assert files_crc(numbers) == files_crc(sorted(numbers))
+
+    @given(st.sets(st.integers(1, 1 << 20), min_size=1, max_size=30))
+    def test_sensitive_to_membership(self, numbers):
+        smaller = set(list(numbers)[1:])
+        assert files_crc(numbers) != files_crc(smaller)
+
+
+class TestAnchors:
+    @given(user_keys, st.integers(0, MAX_SEQUENCE))
+    def test_anchor_is_smallest_internal_key_of_user_key(self, key, seq):
+        ikey = make_internal_key(key, seq, TYPE_VALUE)
+        anchor = user_key_anchor(ikey)
+        assert extract_user_key(anchor) == key
+        assert compare_internal(anchor, ikey) <= 0
+
+
+class TestViewMatchesFiles:
+    def test_detects_membership_and_range_drift(self):
+        from dataclasses import replace
+
+        tables, _, _ = build_runs([{b"a", b"b"}, {b"c"}])
+        view, _ = rebuild_view(1, None, tables)
+
+        class Meta:
+            def __init__(self, run):
+                self.number = run.number
+                self.smallest = run.smallest
+                self.largest = run.largest
+
+        files = [[Meta(run) for run in tables.values()]]
+        assert view_matches_files(view, files)
+        assert not view_matches_files(view, [[Meta(tables[1])]])
+        drifted = replace(tables[1], largest=b"zzz\x00\x00\x00\x00\x00\x00\x00\x00\x00")
+        assert not view_matches_files(view, [[Meta(drifted), Meta(tables[2])]])
