@@ -99,6 +99,13 @@ def run_workload(store: RocksMashStore, oracle: RecoveryOracle, *, steps: int) -
     for i in range(steps):
         if i == steps // 2:
             create_checkpoint(store, CHECKPOINT_NAME)
+        if i == steps // 3:
+            # Bulk-load a disjoint key range so the WAL-bypassing ingest
+            # commit path (ingest.before_manifest) is exercised too.
+            entries = [(f"ingest-{j:04d}".encode(), _value(j)) for j in range(8)]
+            oracle.begin({key: value for key, value in entries})
+            store.db.ingest(entries)
+            oracle.commit()
         if i % 7 == 3:
             batch = WriteBatch()
             for j in range(4):

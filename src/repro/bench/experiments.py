@@ -17,7 +17,11 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+from repro.baselines import RocksDBCloudStore
 from repro.bench.harness import SYSTEMS, HarnessKnobs, make_store
+from repro.facade import StoreFacade
+from repro.mash.store import RocksMashStore
+from repro.sim.clock import SimClock
 from repro.bench.report import Table
 from repro.workloads import dbbench, ycsb
 from repro.workloads.generator import make_key, make_value
@@ -232,7 +236,7 @@ def e6_recovery_shards(
 # --------------------------------------------------------------------------
 
 
-def _tier_split(store) -> tuple[int, int]:
+def _tier_split(store: StoreFacade) -> tuple[int, int]:
     """(local, cloud) *data* bytes — tables plus data caches, excluding the
     WAL/manifest, whose size is scale-independent and would skew a
     projection to a large DB."""
@@ -240,8 +244,9 @@ def _tier_split(store) -> tuple[int, int]:
         return store.local_bytes(), 0
     if store.name == "cloud-only":
         return 0, store.cloud_bytes()
-    if store.name == "rocksdb-cloud":
+    if isinstance(store, RocksDBCloudStore):
         return store.file_cache.used_bytes, store.cloud_bytes()
+    assert isinstance(store, RocksMashStore)
     return (
         store.placement.local_table_bytes()
         + store.pcache.meta_bytes
@@ -1266,25 +1271,31 @@ def e22_sharded_serving(
 class _UserByteCounter:
     """Pass-through store wrapper counting exactly the bytes the user wrote."""
 
-    def __init__(self, store) -> None:
+    def __init__(self, store: StoreFacade) -> None:
         self.store = store
         self.user_bytes = 0
 
-    def put(self, key, value, *, sync=True):
+    def put(self, key: bytes, value: bytes, *, sync: bool = True) -> None:
         self.user_bytes += len(key) + len(value)
         self.store.put(key, value, sync=sync)
 
-    def get(self, key):
+    def get(self, key: bytes) -> bytes | None:
         return self.store.get(key)
 
-    def scan(self, begin=None, end=None, *, limit=None):
+    def scan(
+        self,
+        begin: bytes | None = None,
+        end: bytes | None = None,
+        *,
+        limit: int | None = None,
+    ) -> list[tuple[bytes, bytes]]:
         return self.store.scan(begin, end, limit=limit)
 
-    def flush(self):
+    def flush(self) -> None:
         self.store.flush()
 
     @property
-    def clock(self):
+    def clock(self) -> SimClock:
         return self.store.clock
 
 

@@ -8,7 +8,9 @@ in seconds while preserving LSM shape (multiple levels, real compactions).
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass, replace
+from typing import TypeVar
 
 from repro.baselines import (
     CloudOnlyConfig,
@@ -24,7 +26,8 @@ from repro.mash.pcache import PCacheConfig
 from repro.mash.placement import PlacementConfig
 from repro.mash.store import RocksMashStore, StoreConfig
 from repro.mash.xwal import XWalConfig
-from repro.sim.latency import cloud_object_storage, nvme_ssd
+from repro.facade import StoreFacade
+from repro.sim.latency import LatencyModel, cloud_object_storage, nvme_ssd
 
 SYSTEMS = ("local-only", "cloud-only", "rocksdb-cloud", "rocksmash")
 
@@ -75,9 +78,7 @@ class HarnessKnobs:
     upload_parallelism: int = 4
     """Concurrent demotion-upload slots (overlapped with the merge)."""
 
-    def cloud_model(self):
-        from repro.sim.latency import LatencyModel
-
+    def cloud_model(self) -> LatencyModel:
         return LatencyModel(
             read_latency=self.cloud_rtt,
             write_latency=self.cloud_rtt,
@@ -130,7 +131,7 @@ def rocksmash_config(knobs: HarnessKnobs | None = None) -> StoreConfig:
     )
 
 
-def make_store(system: str, knobs: HarnessKnobs | None = None):
+def make_store(system: str, knobs: HarnessKnobs | None = None) -> StoreFacade:
     """Build one of the four systems with the given knobs."""
     knobs = knobs or HarnessKnobs()
     options = engine_options(knobs)
@@ -165,9 +166,18 @@ def _disable_metadata_pinning(store: RocksMashStore) -> None:
     store._pin_metadata = lambda *_a, **_k: None  # type: ignore[method-assign]
 
 
-def sweep(values, build, measure):
+_V = TypeVar("_V")
+_S = TypeVar("_S")
+_R = TypeVar("_R")
+
+
+def sweep(
+    values: Iterable[_V],
+    build: Callable[[_V], _S],
+    measure: Callable[[_S], _R],
+) -> list[tuple[_V, _R]]:
     """Tiny sweep helper: ``[(value, measure(build(value))) ...]``."""
-    out = []
+    out: list[tuple[_V, _R]] = []
     for value in values:
         subject = build(value)
         out.append((value, measure(subject)))

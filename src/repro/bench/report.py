@@ -9,7 +9,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-def _fmt(value) -> str:
+def _fmt(value: object) -> str:
     if isinstance(value, float):
         if value == 0:
             return "0"
@@ -27,10 +27,10 @@ class Table:
 
     title: str
     headers: list[str]
-    rows: list[list] = field(default_factory=list)
+    rows: list[list[object]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
 
-    def add_row(self, *cells) -> None:
+    def add_row(self, *cells: object) -> None:
         self.rows.append(list(cells))
 
     def render(self) -> str:
@@ -52,7 +52,7 @@ class Table:
         print()
         print(self.render())
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         """JSON-friendly form (committed benchmark artifacts)."""
         return {
             "title": self.title,
@@ -61,12 +61,12 @@ class Table:
             "notes": list(self.notes),
         }
 
-    def column(self, header: str) -> list:
+    def column(self, header: str) -> list[object]:
         """Extract one column by header name (for assertions in benches)."""
         idx = self.headers.index(header)
         return [row[idx] for row in self.rows]
 
-    def row_by(self, header: str, key) -> list:
+    def row_by(self, header: str, key: object) -> list[object]:
         """First row whose ``header`` column equals ``key``."""
         idx = self.headers.index(header)
         for row in self.rows:
@@ -74,7 +74,7 @@ class Table:
                 return row
         raise KeyError(f"no row with {header}={key!r}")
 
-    def cell(self, row_key, column: str, *, key_column: str | None = None) -> object:
+    def cell(self, row_key: object, column: str, *, key_column: str | None = None) -> object:
         """Cell lookup: row selected by the first column (or ``key_column``)."""
         key_col = key_column or self.headers[0]
         row = self.row_by(key_col, row_key)

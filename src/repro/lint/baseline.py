@@ -2,38 +2,53 @@
 
 A baseline grandfathers known findings: the gate fails only on findings
 whose fingerprint count exceeds what the baseline records, so new debt is
-blocked while existing debt is paid down file by file. Fingerprints hash
-(rule, path, source line, message) — not line numbers — so unrelated edits
-do not invalidate the baseline.
+blocked while existing debt is paid down file by file. Version-2
+fingerprints hash (rule, path, whitespace-normalized source line) — no
+line numbers, so edits above a finding do not invalidate the baseline,
+and no message, so rewording a rule's diagnostics does not either.
 
 Format (JSON, sorted keys, newline-terminated — diff-friendly)::
 
     {
-      "version": 1,
+      "version": 2,
       "findings": {"<fingerprint>": <count>, ...}
     }
 
-This repository's policy is an **empty** baseline: every finding is either
-fixed or annotated with an inline ``# reprolint: ignore[...]`` and a
-reason. The machinery exists so downstream forks can adopt the gate on a
-dirty tree without a flag day.
+Version-1 files (whose fingerprints also hashed the message) still load;
+the CLI matches them through :attr:`Finding.fingerprint_v1` and rewrites
+the file as version 2 in place, so the migration is a side effect of the
+first gate run — no flag day.
+
+This repository's policy is an **empty** baseline: every finding is
+either fixed or annotated with an inline ``# reprolint: ignore[...]`` and
+a reason. The machinery exists so downstream forks can adopt the gate on
+a dirty tree.
 """
 
 from __future__ import annotations
 
 import json
 from collections import Counter
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import CorruptionError
 from repro.lint.finding import Finding
 
-BASELINE_VERSION = 1
+BASELINE_VERSION = 2
 DEFAULT_BASELINE_NAME = "reprolint.baseline.json"
 
 
-def load_baseline(path: Path) -> Counter[str]:
-    """Read fingerprint counts from ``path``.
+@dataclass(frozen=True)
+class Baseline:
+    """A loaded baseline file: fingerprint counts plus the file version."""
+
+    counts: Counter[str]
+    version: int = BASELINE_VERSION
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Read fingerprint counts from ``path`` (accepts versions 1 and 2).
 
     Raises:
         CorruptionError: the file is not a valid baseline document.
@@ -42,7 +57,7 @@ def load_baseline(path: Path) -> Counter[str]:
         doc = json.loads(path.read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError) as exc:
         raise CorruptionError(f"unreadable baseline {path}: {exc}") from exc
-    if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+    if not isinstance(doc, dict) or doc.get("version") not in (1, BASELINE_VERSION):
         raise CorruptionError(f"baseline {path}: unsupported document version")
     findings = doc.get("findings", {})
     if not isinstance(findings, dict):
@@ -52,11 +67,11 @@ def load_baseline(path: Path) -> Counter[str]:
         if not isinstance(fingerprint, str) or not isinstance(count, int) or count < 1:
             raise CorruptionError(f"baseline {path}: bad entry {fingerprint!r}")
         counts[fingerprint] = count
-    return counts
+    return Baseline(counts=counts, version=int(doc["version"]))
 
 
 def write_baseline(path: Path, findings: list[Finding]) -> None:
-    """Write the baseline capturing exactly ``findings``."""
+    """Write a version-2 baseline capturing exactly ``findings``."""
     counts = Counter(f.fingerprint for f in findings)
     doc = {
         "version": BASELINE_VERSION,
@@ -66,20 +81,28 @@ def write_baseline(path: Path, findings: list[Finding]) -> None:
 
 
 def apply_baseline(
-    findings: list[Finding], baseline: Counter[str]
-) -> tuple[list[Finding], int]:
-    """Split findings into (new, matched-count) against the baseline.
+    findings: list[Finding],
+    baseline: Counter[str],
+    *,
+    version: int = BASELINE_VERSION,
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (fresh, matched) against the baseline.
 
     Findings are consumed against fingerprint counts in report order, so a
     file with three identical baselined violations reports only a fourth.
+    ``version`` selects the fingerprint the counts were written with, so a
+    version-1 file keeps gating until it is migrated.
     """
     budget = Counter(baseline)
     fresh: list[Finding] = []
-    matched = 0
+    matched: list[Finding] = []
     for finding in findings:
-        if budget[finding.fingerprint] > 0:
-            budget[finding.fingerprint] -= 1
-            matched += 1
+        fingerprint = (
+            finding.fingerprint_v1 if version == 1 else finding.fingerprint
+        )
+        if budget[fingerprint] > 0:
+            budget[fingerprint] -= 1
+            matched.append(finding)
         else:
             fresh.append(finding)
     return fresh, matched

@@ -1,0 +1,140 @@
+"""Project call graph over per-file summaries, with event closure.
+
+Resolution is *name-based and conservative*: a call token ``t`` resolves to
+every function in the project named ``t`` (last dotted component). That
+over-approximates aggressively — ``x.put(...)`` resolves to every ``put``
+in the tree — which is the right bias for the rules built on top:
+
+* RL007 asks "is the required sync event present on some path" — extra
+  resolution targets can only *add* events, so a missing event (the bug)
+  is never masked by under-resolution, and a present event is found
+  through whatever callee actually provides it.
+* RL008's durable-write classification asks "could this call reach a
+  device write" — over-approximation errs toward requiring an annotation,
+  never toward silently skipping one.
+
+One guardrail keeps the over-approximation from going degenerate:
+**ambient tokens** — builtin container/str method names (``append``,
+``join``, ``update`` …) — never resolve to project functions. Without
+this, ``bytearray.append`` resolves to every device ``append`` method and
+the durable closure of *every* function in the tree includes
+``write_file``, which would flag plain CRC arithmetic as a durable write.
+The real durable paths go through distinctively named calls
+(``log_and_apply``, ``put_meta``, ``drop_blob_segment`` …), so skipping
+the builtin-collision names costs no recall on this tree.
+
+The self-rebind closure used by RL006 is deliberately *narrower* (same
+class, then same file) — attributing another object's mutations to
+``self`` would drown the race detector in noise; see rules/forkjoin.py.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.lint.summaries import FileFacts, FunctionFacts
+
+if TYPE_CHECKING:
+    from repro.lint.config import LintConfig
+
+
+class CallGraph:
+    """Name-indexed functions plus fixpoint token closures."""
+
+    def __init__(
+        self, files: list[FileFacts], ambient_tokens: frozenset[str] = frozenset()
+    ) -> None:
+        self.files = files
+        self.ambient_tokens = ambient_tokens
+        self.by_name: dict[str, list[FunctionFacts]] = defaultdict(list)
+        self._owner: dict[int, FileFacts] = {}
+        for facts in files:
+            for fn in facts.functions:
+                self.by_name[fn.name].append(fn)
+                self._owner[id(fn)] = facts
+        self._closures: dict[int, frozenset[str]] | None = None
+
+    def owner(self, fn: FunctionFacts) -> FileFacts:
+        return self._owner[id(fn)]
+
+    def resolve(self, token: str) -> list[FunctionFacts]:
+        """Every project function a call token may target (ambient
+        builtin-collision names resolve to nothing; see module docstring)."""
+        if token in self.ambient_tokens:
+            return []
+        return self.by_name.get(token, [])
+
+    # -- transitive event closure -------------------------------------------
+
+    def _compute_closures(self) -> dict[int, frozenset[str]]:
+        """Fixpoint: closure(f) = calls(f) ∪ ⋃ closure(g) for g callable
+        from f. Worklist over reverse edges; cycles converge because sets
+        only grow and the token universe is finite."""
+        sets: dict[int, set[str]] = {}
+        callers: dict[str, list[FunctionFacts]] = defaultdict(list)
+        all_fns: list[FunctionFacts] = []
+        for facts in self.files:
+            for fn in facts.functions:
+                all_fns.append(fn)
+                sets[id(fn)] = set(fn.calls)
+                for token in fn.calls:
+                    callers[token].append(fn)
+        pending = list(all_fns)
+        while pending:
+            fn = pending.pop()
+            merged = set(fn.calls)
+            for token in fn.calls:
+                for callee in self.resolve(token):
+                    merged |= sets[id(callee)]
+            if merged != sets[id(fn)]:
+                sets[id(fn)] = merged
+                pending.extend(callers[fn.name])
+        return {key: frozenset(value) for key, value in sets.items()}
+
+    def closure(self, fn: FunctionFacts) -> frozenset[str]:
+        """Every call token transitively reachable from ``fn``."""
+        if self._closures is None:
+            self._closures = self._compute_closures()
+        return self._closures[id(fn)]
+
+    def expand_tokens(self, tokens: frozenset[str] | set[str]) -> frozenset[str]:
+        """Tokens plus the closure of every function they may resolve to.
+
+        ``assign:``/``reach:`` pseudo-tokens pass through unexpanded.
+        """
+        out: set[str] = set(tokens)
+        for token in tokens:
+            if ":" in token:
+                continue
+            for fn in self.resolve(token):
+                out |= self.closure(fn)
+        return frozenset(out)
+
+    def is_durable(self, token: str, durable_tokens: frozenset[str]) -> bool:
+        """Whether a call token directly or transitively writes durable
+        state (device files, cloud objects)."""
+        if token in durable_tokens:
+            return True
+        for fn in self.resolve(token):
+            if self.closure(fn) & durable_tokens:
+                return True
+        return False
+
+
+@dataclass
+class ProjectFacts:
+    """Phase-two rule input: every file's facts plus the call graph."""
+
+    config: "LintConfig"
+    files: list[FileFacts] = field(default_factory=list)
+    _graph: CallGraph | None = None
+
+    @property
+    def graph(self) -> CallGraph:
+        if self._graph is None:
+            self._graph = CallGraph(
+                self.files, frozenset(self.config.ambient_tokens)
+            )
+        return self._graph

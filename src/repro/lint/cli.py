@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-from collections import Counter
 from pathlib import Path
 
 from repro.errors import CorruptionError
@@ -23,9 +22,9 @@ from repro.lint.baseline import (
     write_baseline,
 )
 from repro.lint.config import LintConfig
-from repro.lint.engine import LintEngine
+from repro.lint.engine import DEFAULT_CACHE_DIR, LintEngine
 from repro.lint.registry import all_rules
-from repro.lint.report import render_json, render_rules, render_text
+from repro.lint.report import render_json, render_rules, render_sarif, render_text
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
@@ -42,9 +41,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the report to PATH instead of stdout",
     )
     parser.add_argument(
         "--rules",
@@ -67,6 +72,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline",
         action="store_true",
         help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=(
+            "per-file summary cache; warm runs re-analyze only changed "
+            f"files (default: ./{DEFAULT_CACHE_DIR})"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="analyze every file from scratch, write no cache",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for per-file analysis (default: 1)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print cache hit/miss counters to stderr",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog and exit"
@@ -99,8 +130,22 @@ def main(argv: list[str] | None = None) -> int:
         sys.stderr.write(f"no such path: {', '.join(missing)}\n")
         return EXIT_USAGE
 
-    engine = LintEngine(LintConfig(enabled_rules=enabled))
+    if args.jobs < 1:
+        sys.stderr.write("--jobs must be >= 1\n")
+        return EXIT_USAGE
+
+    engine = LintEngine(
+        LintConfig(enabled_rules=enabled),
+        cache_dir=None if args.no_cache else Path(args.cache_dir),
+        jobs=args.jobs,
+    )
     findings = engine.run(paths)
+    if args.stats:
+        stats = engine.stats
+        sys.stderr.write(
+            f"reprolint: {stats['files']} file(s), "
+            f"{stats['cache_hits']} cached, {stats['cache_misses']} analyzed\n"
+        )
 
     baseline_path = Path(args.baseline)
     if args.write_baseline:
@@ -117,10 +162,30 @@ def main(argv: list[str] | None = None) -> int:
         except CorruptionError as exc:
             sys.stderr.write(f"{exc}\n")
             return EXIT_USAGE
-        findings, baselined = apply_baseline(findings, Counter(baseline))
+        findings, matched = apply_baseline(
+            findings, baseline.counts, version=baseline.version
+        )
+        baselined = len(matched)
+        if baseline.version == 1:
+            # One-time in-place migration: rewrite the matched debt with
+            # version-2 fingerprints (stale entries drop out here).
+            try:
+                write_baseline(baseline_path, matched)
+                sys.stderr.write(
+                    f"migrated baseline {baseline_path} to version 2 "
+                    f"({baselined} finding(s) carried over)\n"
+                )
+            except OSError as exc:
+                sys.stderr.write(f"could not migrate baseline: {exc}\n")
 
     if args.format == "json":
-        sys.stdout.write(render_json(findings, baselined=baselined))
+        report = render_json(findings, baselined=baselined)
+    elif args.format == "sarif":
+        report = render_sarif(findings, baselined=baselined)
     else:
-        sys.stdout.write(render_text(findings, baselined=baselined))
+        report = render_text(findings, baselined=baselined)
+    if args.output is not None:
+        Path(args.output).write_text(report, encoding="utf-8")
+    else:
+        sys.stdout.write(report)
     return EXIT_FINDINGS if findings else EXIT_CLEAN

@@ -37,6 +37,78 @@ RAISE_WHITELIST: tuple[str, ...] = (
     "ValueError",
 )
 
+#: Call tokens that commit durable metadata (RL007/RL008 anchor on these).
+COMMIT_TOKENS: tuple[str, ...] = ("log_and_apply",)
+
+#: Call tokens that acknowledge a value append to the caller (RL007 S1).
+APPEND_TOKENS: tuple[str, ...] = ("add_record",)
+
+#: Call tokens that directly mutate durable state. A call is *transitively*
+#: durable when any of these appears in its callee's event closure.
+DURABLE_TOKENS: tuple[str, ...] = (
+    "complete_multipart",
+    "delete_file",
+    "put",
+    "rename_file",
+    "upload_part",
+    "write_file",
+)
+
+#: Package-relative scopes for RL008 (crash-window bracketing). The crash
+#: protocol lives in the LSM core and the hybrid layer; sim/storage device
+#: code and serving glue never commit MANIFEST edits of their own.
+CRASH_WINDOW_SCOPES: tuple[str, ...] = ("lsm/", "mash/")
+
+#: Package-relative scopes for RL009's scan-lifecycle check. Bench and
+#: workload drivers call the list-returning facade scan, which owns no
+#: resources, so they are deliberately out of scope.
+LIFECYCLE_SCOPES: tuple[str, ...] = ("lsm/", "mash/", "serve/", "facade.py")
+
+#: Call tokens that never resolve to project functions: builtin
+#: container/str/bytearray method names whose collisions with same-named
+#: project methods (e.g. ``bytearray.append`` vs a device ``append``)
+#: would otherwise make every function's event closure "durable".
+AMBIENT_TOKENS: tuple[str, ...] = (
+    "add",
+    "append",
+    "clear",
+    "copy",
+    "decode",
+    "discard",
+    "encode",
+    "extend",
+    "get",
+    "insert",
+    "items",
+    "join",
+    "keys",
+    "pop",
+    "popitem",
+    "remove",
+    "reverse",
+    "setdefault",
+    "sort",
+    "split",
+    "strip",
+    "update",
+    "values",
+)
+
+#: Builtins whose call fully consumes (and therefore closes) a generator
+#: passed as an argument.
+CONSUMING_BUILTINS: tuple[str, ...] = (
+    "all",
+    "any",
+    "dict",
+    "list",
+    "max",
+    "min",
+    "set",
+    "sorted",
+    "sum",
+    "tuple",
+)
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -48,6 +120,13 @@ class LintConfig:
     sim_scopes: tuple[str, ...] = SIM_SCOPES
     real_io_whitelist: tuple[str, ...] = REAL_IO_WHITELIST
     raise_whitelist: tuple[str, ...] = RAISE_WHITELIST
+
+    commit_tokens: tuple[str, ...] = COMMIT_TOKENS
+    append_tokens: tuple[str, ...] = APPEND_TOKENS
+    durable_tokens: tuple[str, ...] = DURABLE_TOKENS
+    crash_window_scopes: tuple[str, ...] = CRASH_WINDOW_SCOPES
+    lifecycle_scopes: tuple[str, ...] = LIFECYCLE_SCOPES
+    ambient_tokens: tuple[str, ...] = AMBIENT_TOKENS
 
     charge_window_before: int = 2
     """RL002: a ``.charge(`` this many lines *above* an ``.advance(`` still
@@ -62,6 +141,13 @@ class LintConfig:
 
     def rule_enabled(self, rule_id: str) -> bool:
         return self.enabled_rules is None or rule_id in self.enabled_rules
+
+    def digest(self) -> str:
+        """Stable hash of every knob — part of the summary-cache key, so a
+        config change invalidates cached per-file results."""
+        import hashlib
+
+        return hashlib.sha256(repr(self).encode("utf-8")).hexdigest()[:16]
 
 
 def in_scopes(pkg_path: str, scopes: tuple[str, ...]) -> bool:

@@ -1,0 +1,283 @@
+"""Forward *may-before* dataflow over one function body.
+
+The interprocedural rules (RL007 durability ordering, RL008 crash-window
+bracketing) need one question answered precisely: *which events may have
+happened before this call, on some path through the function?* This module
+answers it with a small abstract interpreter over the statement structure:
+
+* every call and every attribute assignment becomes a :class:`FlowAtom`;
+* the analysis walks the body once, threading a *may* set of atom indices
+  (union at ``if``/``try`` joins — an event that happens on *some* path
+  counts as possibly-before);
+* loops get a second pass seeded with the first pass's output, so
+  back-edge effects are visible (a ``reach()`` late in a loop body is
+  *before* a commit early in the next iteration);
+* nested ``def``/``lambda``/``class`` bodies are skipped — their calls run
+  later, if ever.
+
+May semantics are deliberate: RL007 asks "is the required sync present on
+some path before the commit" (missing everywhere = bug), and RL008 asks
+"could a crash site have fired before this write" (possible = must be
+idempotent). Both want the union, not the intersection. ``return``/
+``raise``/``break`` do not prune paths — the over-approximation only adds
+events, which for these rules means fewer false positives, never silent
+misses of an *entirely absent* event.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.rules._ast_util import dotted_name, str_const
+
+#: Statement types whose bodies the atom walk must not descend into.
+_SCOPE_BOUNDARY = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+@dataclass(frozen=True, slots=True)
+class FlowAtom:
+    """One event in a function body: a call or an attribute rebind.
+
+    Attributes:
+        index: position in :attr:`FunctionFlow.atoms` (stable per function).
+        kind: ``"call"`` or ``"attrset"``.
+        token: the call's name (last dotted component) or the assigned
+            attribute's name. Rules match on tokens.
+        receiver: dotted receiver for attribute calls (``self.versions`` for
+            ``self.versions.log_and_apply(...)``), else ``None``.
+        arg0: first positional argument when it is a string literal (the
+            crash-site name of a ``reach("...")`` call), else ``None``.
+        line: 1-based source line.
+        col: 0-based column.
+        end_line: 1-based last line of the node (multi-line calls).
+    """
+
+    index: int
+    kind: str
+    token: str
+    receiver: str | None
+    arg0: str | None
+    line: int
+    col: int
+    end_line: int
+
+
+@dataclass
+class FunctionFlow:
+    """Atoms of one function plus the may-before relation between them."""
+
+    atoms: list[FlowAtom] = field(default_factory=list)
+    #: per atom index: indices of atoms that may execute before it.
+    before: list[set[int]] = field(default_factory=list)
+
+    def tokens_before(self, index: int) -> set[str]:
+        """Event tokens that may precede atom ``index``.
+
+        Call atoms contribute their name; attribute rebinds contribute
+        ``"assign:<attr>"``; ``reach("<site>")`` calls additionally
+        contribute ``"reach"`` and ``"reach:<site>"``.
+        """
+        out: set[str] = set()
+        for i in self.before[index]:
+            atom = self.atoms[i]
+            if atom.kind == "attrset":
+                out.add(f"assign:{atom.token}")
+            else:
+                out.add(atom.token)
+                if atom.token == "reach":
+                    out.add("reach")
+                    if atom.arg0 is not None:
+                        out.add(f"reach:{atom.arg0}")
+        return out
+
+
+class _FlowBuilder:
+    """One-shot builder: collect atoms, then interpret the body."""
+
+    def __init__(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.fn = fn
+        self.flow = FunctionFlow()
+        self._atom_of: dict[int, FlowAtom] = {}  # id(ast node) -> atom
+
+    # -- atom collection ---------------------------------------------------
+
+    def _atom_for_call(self, call: ast.Call) -> FlowAtom:
+        existing = self._atom_of.get(id(call))
+        if existing is not None:
+            return existing
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            token = func.attr
+            receiver = dotted_name(func.value)
+        elif isinstance(func, ast.Name):
+            token = func.id
+            receiver = None
+        else:
+            token = "<dynamic>"
+            receiver = None
+        atom = FlowAtom(
+            index=len(self.flow.atoms),
+            kind="call",
+            token=token,
+            receiver=receiver,
+            arg0=str_const(call.args[0]) if call.args else None,
+            line=call.lineno,
+            col=call.col_offset,
+            end_line=call.end_lineno or call.lineno,
+        )
+        self.flow.atoms.append(atom)
+        self.flow.before.append(set())
+        self._atom_of[id(call)] = atom
+        return atom
+
+    def _atom_for_attrset(self, target: ast.Attribute) -> FlowAtom:
+        existing = self._atom_of.get(id(target))
+        if existing is not None:
+            return existing
+        atom = FlowAtom(
+            index=len(self.flow.atoms),
+            kind="attrset",
+            token=target.attr,
+            receiver=dotted_name(target.value),
+            arg0=None,
+            line=target.lineno,
+            col=target.col_offset,
+            end_line=target.end_lineno or target.lineno,
+        )
+        self.flow.atoms.append(atom)
+        self.flow.before.append(set())
+        self._atom_of[id(target)] = atom
+        return atom
+
+    def _expr_atoms(self, node: ast.AST | None) -> list[FlowAtom]:
+        """Call atoms inside an expression, skipping nested scopes."""
+        if node is None:
+            return []
+        out: list[FlowAtom] = []
+        pending: list[ast.AST] = [node]
+        while pending:
+            cur = pending.pop()
+            if isinstance(cur, _SCOPE_BOUNDARY):
+                continue
+            if isinstance(cur, ast.Call):
+                out.append(self._atom_for_call(cur))
+            pending.extend(ast.iter_child_nodes(cur))
+        return sorted(out, key=lambda a: (a.line, a.col))
+
+    # -- interpretation ----------------------------------------------------
+
+    def run(self) -> FunctionFlow:
+        self._eval_block(self.fn.body, set())
+        return self.flow
+
+    def _emit(self, atoms: list[FlowAtom], state: set[int]) -> None:
+        for atom in atoms:
+            self.flow.before[atom.index] |= state
+        state.update(atom.index for atom in atoms)
+
+    def _eval_block(self, stmts: list[ast.stmt], state: set[int]) -> set[int]:
+        for stmt in stmts:
+            state = self._eval_stmt(stmt, state)
+        return state
+
+    def _eval_stmt(self, stmt: ast.stmt, state: set[int]) -> set[int]:
+        if isinstance(stmt, _SCOPE_BOUNDARY):
+            # A nested def/class: decorator and default expressions *do*
+            # run here; the body does not.
+            atoms: list[FlowAtom] = []
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for dec in stmt.decorator_list:
+                    atoms.extend(self._expr_atoms(dec))
+                for default in stmt.args.defaults + [
+                    d for d in stmt.args.kw_defaults if d is not None
+                ]:
+                    atoms.extend(self._expr_atoms(default))
+            self._emit(atoms, state)
+            return state
+
+        if isinstance(stmt, ast.If):
+            self._emit(self._expr_atoms(stmt.test), state)
+            out_body = self._eval_block(stmt.body, set(state))
+            out_else = self._eval_block(stmt.orelse, set(state))
+            return out_body | out_else
+
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._emit(self._expr_atoms(stmt.iter), state)
+            return self._eval_loop(stmt.body, stmt.orelse, state)
+
+        if isinstance(stmt, ast.While):
+            self._emit(self._expr_atoms(stmt.test), state)
+            out = self._eval_loop(stmt.body, stmt.orelse, state)
+            # The test re-runs after each iteration.
+            self._emit(self._expr_atoms(stmt.test), set(out))
+            return out
+
+        if isinstance(stmt, ast.Try):
+            out_body = self._eval_block(stmt.body, set(state))
+            # A handler may run after any prefix of the body; the full-body
+            # state is the may-union of those prefixes.
+            out_handlers = set(state)
+            for handler in stmt.handlers:
+                out_handlers |= self._eval_block(
+                    handler.body, state | out_body
+                )
+            merged = out_body | out_handlers
+            out_else = self._eval_block(stmt.orelse, set(out_body))
+            merged |= out_else
+            return self._eval_block(stmt.finalbody, merged)
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            atoms: list[FlowAtom] = []
+            for item in stmt.items:
+                atoms.extend(self._expr_atoms(item.context_expr))
+            self._emit(atoms, state)
+            return self._eval_block(stmt.body, state)
+
+        if isinstance(stmt, ast.Match):
+            self._emit(self._expr_atoms(stmt.subject), state)
+            out = set(state)
+            for case in stmt.cases:
+                out |= self._eval_block(case.body, set(state))
+            return out
+
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            # Value-side calls execute before the store.
+            value = stmt.value
+            self._emit(self._expr_atoms(value), state)
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            atoms = []
+            for target in targets:
+                for node in ast.walk(target):
+                    if isinstance(node, ast.Attribute) and isinstance(
+                        node.ctx, ast.Store
+                    ):
+                        atoms.append(self._atom_for_attrset(node))
+                    elif isinstance(node, ast.Call):
+                        atoms.append(self._atom_for_call(node))
+            self._emit(atoms, state)
+            return state
+
+        # Leaf statements: collect every expression atom they contain.
+        atoms = []
+        for child in ast.iter_child_nodes(stmt):
+            atoms.extend(self._expr_atoms(child))
+        self._emit(atoms, state)
+        return state
+
+    def _eval_loop(
+        self, body: list[ast.stmt], orelse: list[ast.stmt], state: set[int]
+    ) -> set[int]:
+        """Two passes over a loop body: the second sees the back edge."""
+        out1 = self._eval_block(body, set(state))
+        out2 = self._eval_block(body, set(out1))
+        merged = state | out2  # the loop may run zero times
+        out_else = self._eval_block(orelse, set(merged))
+        return merged | out_else
+
+
+def flow_function(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> FunctionFlow:
+    """Build the may-before flow for one function body."""
+    return _FlowBuilder(fn).run()

@@ -1,22 +1,52 @@
 """The lint engine: collect files, parse ASTs, run rules, filter findings.
 
-The engine is intentionally filesystem-light: it reads sources, parses them
-with :mod:`ast`, and hands immutable :class:`ModuleInfo` records to the
-rules. Nothing is imported or executed, so linting a broken tree is safe.
+The engine is intentionally filesystem-light: it reads sources, parses
+them with :mod:`ast`, and hands immutable :class:`ModuleInfo` records to
+the rules. Nothing is imported or executed, so linting a broken tree is
+safe.
+
+Since the interprocedural rules landed, a run has two phases:
+
+* **Phase one — per file, cacheable.** Parse, run every per-module rule
+  hook, and extract the file's :class:`~repro.lint.summaries.FileFacts`.
+  The result (findings + facts, both plain JSON) is cached keyed by the
+  content hash, the config digest, and the schema versions, so a warm run
+  re-analyzes only changed files. With ``jobs > 1`` the cache misses are
+  analyzed in a process pool.
+* **Phase two — project-wide, always runs.** The cross-file rules
+  (``check_facts``) see every file's facts — cached or fresh — through a
+  :class:`~repro.lint.callgraph.ProjectFacts`, never an AST, so phase two
+  is fast and cache-friendly by construction.
+
+Suppressions are applied last, over the facts' serialized suppression
+maps, so inline ``# reprolint: ignore`` comments keep working for
+findings produced from cached files. A finding spanning multiple lines
+(``end_line``) is suppressed by a comment on any of them.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
+import json
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any
 
 from repro.lint.config import LintConfig
 from repro.lint.finding import Finding, FindingCollector
 from repro.lint.registry import all_rules
-from repro.lint.suppress import is_suppressed, parse_suppressions
+from repro.lint.suppress import parse_suppressions
+from repro.lint.summaries import FACTS_SCHEMA, FileFacts, extract_file_facts
 
 PARSE_ERROR_RULE = "RL000"
+
+#: Bump when the cached record layout changes (finding dict shape, record
+#: envelope); FACTS_SCHEMA covers the facts payload itself.
+CACHE_SCHEMA = 1
+
+DEFAULT_CACHE_DIR = ".reprolint-cache"
 
 
 @dataclass(frozen=True)
@@ -60,12 +90,13 @@ class ModuleInfo:
             col=col,
             message=message,
             snippet=self.line(lineno).strip(),
+            end_line=getattr(node, "end_lineno", 0) or lineno,
         )
 
 
 @dataclass
 class LintContext:
-    """Everything the rules can see during one run."""
+    """Everything the per-module rules can see during one run."""
 
     config: LintConfig
     modules: list[ModuleInfo] = field(default_factory=list)
@@ -115,69 +146,233 @@ def collect_files(paths: list[Path], config: LintConfig) -> list[tuple[Path, Pat
     return out
 
 
-class LintEngine:
-    """Runs every enabled rule over a set of paths."""
+# -- phase one ---------------------------------------------------------------
 
-    def __init__(self, config: LintConfig | None = None) -> None:
-        self.config = config or LintConfig()
 
-    # -- parsing -----------------------------------------------------------
+def _rel_path(path: Path, root: Path) -> str:
+    if path.is_relative_to(root):
+        return path.relative_to(root).as_posix()
+    return str(path)
 
-    def parse_module(
-        self, path: Path, root: Path, collector: FindingCollector
-    ) -> ModuleInfo | None:
-        rel = path.relative_to(root).as_posix() if path.is_relative_to(root) else str(path)
-        try:
-            source = path.read_text(encoding="utf-8")
-            tree = ast.parse(source, filename=str(path))
-        except (OSError, SyntaxError, UnicodeDecodeError, ValueError) as exc:
-            collector.add(
-                Finding(
-                    rule=PARSE_ERROR_RULE,
-                    path=rel,
-                    line=getattr(exc, "lineno", 0) or 0,
-                    col=getattr(exc, "offset", 0) or 0,
-                    message=f"could not parse file: {exc}",
-                )
-            )
-            return None
-        lines = source.splitlines()
-        return ModuleInfo(
-            path=path,
-            rel_path=rel,
-            pkg_path=_pkg_path(path, root),
-            source=source,
-            lines=lines,
-            tree=tree,
-            suppressions=parse_suppressions(lines),
+
+def cache_key(source: str, rel_path: str, config: LintConfig) -> str:
+    """Cache-file stem for one file's phase-one record."""
+    basis = "\x1f".join(
+        (
+            str(CACHE_SCHEMA),
+            str(FACTS_SCHEMA),
+            config.digest(),
+            rel_path,
+            hashlib.sha256(source.encode("utf-8")).hexdigest(),
         )
+    )
+    return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:32]
+
+
+def analyze_source(
+    path: Path, root: Path, source: str, config: LintConfig
+) -> dict[str, Any]:
+    """Phase one for one file: parse, per-module rules, fact extraction.
+
+    Returns a plain-JSON record ``{"rel_path", "findings", "facts"}`` —
+    exactly what the summary cache stores, and everything phase two needs.
+    Module-level (not a method) so a process pool can pickle it.
+    """
+    rel = _rel_path(path, root)
+    pkg = _pkg_path(path, root)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except (SyntaxError, ValueError) as exc:
+        finding = Finding(
+            rule=PARSE_ERROR_RULE,
+            path=rel,
+            line=getattr(exc, "lineno", 0) or 0,
+            col=getattr(exc, "offset", 0) or 0,
+            message=f"could not parse file: {exc}",
+        )
+        facts = FileFacts(rel_path=rel, pkg_path=pkg)
+        return {
+            "rel_path": rel,
+            "findings": [finding.to_dict()],
+            "facts": facts.to_dict(),
+        }
+    lines = source.splitlines()
+    module = ModuleInfo(
+        path=path,
+        rel_path=rel,
+        pkg_path=pkg,
+        source=source,
+        lines=lines,
+        tree=tree,
+        suppressions=parse_suppressions(lines),
+    )
+    ctx = LintContext(config=config, modules=[module])
+    findings: list[Finding] = []
+    for rule in all_rules():
+        if config.rule_enabled(rule.id):
+            findings.extend(rule.check_module(module, ctx))
+    facts = extract_file_facts(
+        module, config.commit_tokens, config.append_tokens, config.lifecycle_scopes
+    )
+    return {
+        "rel_path": rel,
+        "findings": [f.to_dict() for f in findings],
+        "facts": facts.to_dict(),
+    }
+
+
+def _analyze_job(
+    job: tuple[str, str, str, LintConfig]
+) -> dict[str, Any]:
+    """Process-pool entry point (must be a picklable top-level function)."""
+    path_s, root_s, source, config = job
+    return analyze_source(Path(path_s), Path(root_s), source, config)
+
+
+# -- suppression over facts --------------------------------------------------
+
+
+def _suppressed(
+    suppressions: dict[int, list[str]], finding: Finding
+) -> bool:
+    end = max(finding.end_line, finding.line)
+    for line in range(finding.line, end + 1):
+        rules = suppressions.get(line)
+        if rules is not None and ("*" in rules or finding.rule in rules):
+            return True
+    return False
+
+
+# -- the engine --------------------------------------------------------------
+
+
+class LintEngine:
+    """Runs every enabled rule over a set of paths.
+
+    Args:
+        config: rule knobs; defaults to this repository's policy.
+        cache_dir: directory for phase-one records (``None`` disables
+            caching — the library default, so tests on throwaway trees
+            leave nothing behind; the CLI passes ``.reprolint-cache``).
+        jobs: worker processes for phase one. ``1`` analyzes in-process.
+
+    After :meth:`run`, :attr:`stats` holds ``{"files", "cache_hits",
+    "cache_misses"}`` for the warm/cold-cache self-tests and ``--stats``.
+    """
+
+    def __init__(
+        self,
+        config: LintConfig | None = None,
+        *,
+        cache_dir: Path | None = None,
+        jobs: int = 1,
+    ) -> None:
+        self.config = config or LintConfig()
+        self.cache_dir = cache_dir
+        self.jobs = max(1, jobs)
+        self.stats: dict[str, int] = {"files": 0, "cache_hits": 0, "cache_misses": 0}
+
+    # -- cache I/O ---------------------------------------------------------
+
+    def _cache_load(self, key: str, rel_path: str) -> dict[str, Any] | None:
+        if self.cache_dir is None:
+            return None
+        try:
+            doc = json.loads(
+                (self.cache_dir / f"{key}.json").read_text(encoding="utf-8")
+            )
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(doc, dict) or doc.get("rel_path") != rel_path:
+            return None
+        if "findings" not in doc or "facts" not in doc:
+            return None
+        return doc
+
+    def _cache_store(self, key: str, record: dict[str, Any]) -> None:
+        if self.cache_dir is None:
+            return
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            (self.cache_dir / f"{key}.json").write_text(
+                json.dumps(record, sort_keys=True), encoding="utf-8"
+            )
+        except OSError:
+            pass  # caching is best-effort; a read-only tree still lints
 
     # -- running -----------------------------------------------------------
 
     def run(self, paths: list[Path]) -> list[Finding]:
         """Lint ``paths``; returns findings with suppressions applied."""
+        from repro.lint.callgraph import ProjectFacts
+
         collector = FindingCollector()
-        ctx = LintContext(config=self.config)
+        self.stats = {"files": 0, "cache_hits": 0, "cache_misses": 0}
+
+        records: list[dict[str, Any] | None] = []
+        misses: list[tuple[int, Path, Path, str, str]] = []
         for file, root in collect_files(paths, self.config):
-            module = self.parse_module(file, root, collector)
-            if module is not None:
-                ctx.modules.append(module)
+            self.stats["files"] += 1
+            rel = _rel_path(file, root)
+            try:
+                source = file.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError) as exc:
+                collector.add(
+                    Finding(
+                        rule=PARSE_ERROR_RULE,
+                        path=rel,
+                        line=0,
+                        col=0,
+                        message=f"could not parse file: {exc}",
+                    )
+                )
+                continue
+            key = cache_key(source, rel, self.config)
+            cached = self._cache_load(key, rel)
+            if cached is not None:
+                self.stats["cache_hits"] += 1
+                records.append(cached)
+            else:
+                self.stats["cache_misses"] += 1
+                records.append(None)
+                misses.append((len(records) - 1, file, root, source, key))
 
-        rules = [r for r in all_rules() if self.config.rule_enabled(r.id)]
-        for module in ctx.modules:
-            for rule in rules:
-                for finding in rule.check_module(module, ctx):
+        if misses:
+            if self.jobs > 1 and len(misses) > 1:
+                jobs = [
+                    (str(file), str(root), source, self.config)
+                    for _, file, root, source, _ in misses
+                ]
+                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                    fresh = list(pool.map(_analyze_job, jobs))
+            else:
+                fresh = [
+                    analyze_source(file, root, source, self.config)
+                    for _, file, root, source, _ in misses
+                ]
+            for (slot, _, _, _, key), record in zip(misses, fresh):
+                records[slot] = record
+                self._cache_store(key, record)
+
+        files_facts: list[FileFacts] = []
+        for record in records:
+            assert record is not None  # every miss slot was filled above
+            for doc in record["findings"]:
+                collector.add(Finding.from_dict(doc))
+            files_facts.append(FileFacts.from_dict(record["facts"]))
+
+        project = ProjectFacts(config=self.config, files=files_facts)
+        for rule in all_rules():
+            if self.config.rule_enabled(rule.id):
+                for finding in rule.check_facts(project):
                     collector.add(finding)
-        for rule in rules:
-            for finding in rule.check_project(ctx):
-                collector.add(finding)
 
-        by_path = {m.rel_path: m for m in ctx.modules}
+        suppressions = {f.rel_path: f.suppressions for f in files_facts}
         kept: list[Finding] = []
         for finding in collector.sorted():
-            module = by_path.get(finding.path)
-            if module is not None and is_suppressed(
-                module.suppressions, finding.line, finding.rule
+            file_suppressions = suppressions.get(finding.path)
+            if file_suppressions is not None and _suppressed(
+                file_suppressions, finding
             ):
                 continue
             kept.append(finding)

@@ -12,14 +12,17 @@ class Finding:
     """One rule violation at a source location.
 
     Attributes:
-        rule: rule identifier (``RL001`` … ``RL005``; ``RL000`` marks a file
-            the engine could not parse).
+        rule: rule identifier (``RL001`` … ``RL010``; ``RL000`` marks a
+            file the engine could not parse).
         path: file path relative to the linted root, POSIX separators.
         line: 1-based line of the offending node (0 for whole-file findings).
         col: 0-based column of the offending node.
         message: human-readable description of the violation.
         snippet: the stripped source line, used for fingerprinting so
             baselines survive unrelated edits that only shift line numbers.
+        end_line: 1-based last line of the offending node (0 = same as
+            ``line``); suppressions on any line of a multi-line statement
+            apply to the finding.
     """
 
     rule: str
@@ -28,15 +31,27 @@ class Finding:
     col: int
     message: str
     snippet: str = ""
+    end_line: int = 0
 
     @property
     def fingerprint(self) -> str:
-        """Content hash identifying this finding across line-number drift.
+        """Content hash identifying this finding across edits (version 2).
 
-        Deliberately excludes ``line``/``col``: two findings on identical
-        source lines in the same file share a fingerprint, and the baseline
-        stores per-fingerprint *counts* to keep matching exact.
+        Hashes (rule, path, whitespace-normalized snippet) — no line
+        numbers, so edits above the finding don't churn the baseline, and
+        no message, so rewording a rule's diagnostics doesn't either. Two
+        findings of one rule on identical source lines in the same file
+        share a fingerprint; the baseline stores per-fingerprint *counts*
+        to keep matching exact.
         """
+        normalized = " ".join(self.snippet.split())
+        basis = "\x1f".join((self.rule, self.path, normalized))
+        return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
+
+    @property
+    def fingerprint_v1(self) -> str:
+        """The version-1 fingerprint basis (included the message), kept
+        only to migrate version-1 baseline files in place."""
         basis = "\x1f".join((self.rule, self.path, self.snippet, self.message))
         return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
 
@@ -46,10 +61,24 @@ class Finding:
             "path": self.path,
             "line": self.line,
             "col": self.col,
+            "end_line": self.end_line or self.line,
             "message": self.message,
             "snippet": self.snippet,
             "fingerprint": self.fingerprint,
         }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output (summary cache)."""
+        return cls(
+            rule=doc["rule"],
+            path=doc["path"],
+            line=doc["line"],
+            col=doc["col"],
+            message=doc["message"],
+            snippet=doc.get("snippet", ""),
+            end_line=doc.get("end_line", 0),
+        )
 
     def location(self) -> str:
         return f"{self.path}:{self.line}:{self.col}"

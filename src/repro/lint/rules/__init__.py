@@ -4,8 +4,22 @@ from repro.lint.rules import (  # noqa: F401
     charges,
     crashpoints,
     determinism,
+    durability,
+    forkjoin,
+    hygiene,
+    lifecycle,
     realio,
     taxonomy,
 )
 
-__all__ = ["charges", "crashpoints", "determinism", "realio", "taxonomy"]
+__all__ = [
+    "charges",
+    "crashpoints",
+    "determinism",
+    "durability",
+    "forkjoin",
+    "hygiene",
+    "lifecycle",
+    "realio",
+    "taxonomy",
+]

@@ -28,10 +28,12 @@ from typing import TYPE_CHECKING
 
 from repro.lint.finding import Finding
 from repro.lint.registry import Rule, register
-from repro.lint.rules._ast_util import last_name, str_const, walk_calls
+from repro.lint.rules._ast_util import last_name
 
 if TYPE_CHECKING:
+    from repro.lint.callgraph import ProjectFacts
     from repro.lint.engine import LintContext, ModuleInfo
+    from repro.lint.summaries import SiteRef
 
 BROAD_NAMES = frozenset({"Exception", "BaseException"})
 CRASH_EXC = "CrashPointFired"
@@ -122,71 +124,57 @@ class CrashPointHygieneRule(Rule):
 
     # -- cross-file: registry consistency -------------------------------------
 
-    def check_project(self, ctx: "LintContext") -> Iterable[Finding]:
-        registry_module, registered = self._registered_sites(ctx)
-        if registry_module is None:
+    def check_facts(self, project: "ProjectFacts") -> Iterable[Finding]:
+        """Registry drift, over cached facts (runs every phase two)."""
+        registry_facts = None
+        registered: dict[str, "SiteRef"] = {}
+        for facts in project.files:
+            if facts.registry is not None:
+                registry_facts = facts
+                registered = facts.registry
+                break
+        if registry_facts is None:
             return ()  # no CRASH_SITES in the linted tree: nothing to check
         findings: list[Finding] = []
-        reached: dict[str, tuple["ModuleInfo", ast.Call]] = {}
+        reached: set[str] = set()
         dynamic: set[str] = set()
-        for module in ctx.modules:
-            for call in walk_calls(module.tree):
-                if not isinstance(call.func, ast.Attribute):
-                    continue
-                if call.func.attr == "reach" and call.args:
-                    site = str_const(call.args[0])
-                    if site is None:
-                        continue
-                    reached.setdefault(site, (module, call))
-                    if site not in registered and site not in dynamic:
-                        findings.append(
-                            module.finding(
-                                self.id,
-                                call,
+        for facts in project.files:
+            dynamic.update(facts.registers)
+        for facts in project.files:
+            for site, ref in sorted(facts.reaches.items()):
+                reached.add(site)
+                if site not in registered and site not in dynamic:
+                    findings.append(
+                        Finding(
+                            rule=self.id,
+                            path=facts.rel_path,
+                            line=ref.line,
+                            col=ref.col,
+                            end_line=ref.end_line,
+                            snippet=ref.snippet,
+                            message=(
                                 f"reach({site!r}) names a crash point missing "
                                 f"from {REGISTRY_NAME} — arming and matrix "
-                                "enumeration cannot see it",
-                            )
+                                "enumeration cannot see it"
+                            ),
                         )
-                elif call.func.attr == "register" and call.args:
-                    site = str_const(call.args[0])
-                    if site is not None:
-                        dynamic.add(site)
+                    )
         for site in sorted(registered):
             if site not in reached:
+                ref = registered[site]
                 findings.append(
-                    registry_module.finding(
-                        self.id,
-                        registered[site],
-                        f"{REGISTRY_NAME} registers {site!r} but no "
-                        "reach() call site exists — the crashmonkey matrix "
-                        "silently stopped covering it",
+                    Finding(
+                        rule=self.id,
+                        path=registry_facts.rel_path,
+                        line=ref.line,
+                        col=ref.col,
+                        end_line=ref.end_line,
+                        snippet=ref.snippet,
+                        message=(
+                            f"{REGISTRY_NAME} registers {site!r} but no "
+                            "reach() call site exists — the crashmonkey matrix "
+                            "silently stopped covering it"
+                        ),
                     )
                 )
         return findings
-
-    def _registered_sites(
-        self, ctx: "LintContext"
-    ) -> tuple["ModuleInfo | None", dict[str, ast.expr]]:
-        """The module defining CRASH_SITES and its literal keys."""
-        for module in ctx.modules:
-            for node in ast.walk(module.tree):
-                if not isinstance(node, (ast.Assign, ast.AnnAssign)):
-                    continue
-                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
-                if not any(
-                    isinstance(t, ast.Name) and t.id == REGISTRY_NAME for t in targets
-                ):
-                    continue
-                value = node.value
-                if not isinstance(value, ast.Dict):
-                    continue
-                sites: dict[str, ast.expr] = {}
-                for key in value.keys:
-                    if key is None:
-                        continue
-                    site = str_const(key)
-                    if site is not None:
-                        sites[site] = key
-                return module, sites
-        return None, {}

@@ -1,0 +1,195 @@
+"""RL007 — durability ordering; RL008 — crash-window bracketing.
+
+Both rules run over the per-function may-before flow (dataflow.py) joined
+with the project call graph (callgraph.py), so a sync performed inside a
+callee — ``divert_batch`` calling ``sync_active`` — satisfies an ordering
+obligation at the caller's append site.
+
+**RL007** encodes the store's durability protocol as ordering specs — the
+exact hand-repaired PR 7 invariants:
+
+* **S1 blob-before-WAL** — a function that diverts values to the blob log
+  (``divert_batch``) and then acknowledges via a WAL ``add_record`` must
+  have ``sync_active`` in the append's transitive may-before set: blob
+  bytes are referenced by the WAL record, so they sync first.
+* **S2 seal-before-MANIFEST** — a ``log_and_apply`` whose edit carries
+  ``set_blob_segment`` must be preceded by the segment's upload
+  (``put``/``complete_multipart``): the MANIFEST may only record durable
+  objects.
+* **S3 persist-before-commit** — a ``log_and_apply`` preceded by an
+  ``edit.sorted_view = …`` assignment must also be preceded by the view
+  ``persist``: a committed tag-9 record pointing at an unpersisted view
+  would fail recovery's CRC fallback check in the crash window.
+
+May semantics make S3 sound for the real tree's *conditional* persist
+(``if self.view_store is not None``): present-on-some-path passes; absent
+everywhere — the seeded historical bug — fails.
+
+**RL008** brackets crash windows. A *window* is any call that may run
+after a ``crash_points.reach()`` site and before a later MANIFEST commit
+in the same function — the classic leave-behind region the crashmonkey
+matrix explores. Two checks:
+
+* every *durable* write in a window (directly, or transitively through
+  its callees) must carry a ``# crash-idempotent`` annotation: a human
+  assertion, checked by the crash matrix, that recovery tolerates the
+  half-applied effect;
+* a MANIFEST commit with *no* reach site on any path before it is a
+  crash-coverage gap — the matrix cannot explore the window this commit
+  closes. Commits are anchored by their own in-function reach; callee
+  reach sites do not count (the window being bracketed is the caller's).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
+
+from repro.lint.config import in_scopes
+from repro.lint.finding import Finding
+from repro.lint.registry import Rule, register
+if TYPE_CHECKING:
+    from repro.lint.callgraph import CallGraph, ProjectFacts
+    from repro.lint.summaries import FileFacts, FlowSite, SiteRef
+
+
+def _finding(rule_id: str, facts: FileFacts, site: SiteRef, message: str) -> Finding:
+    return Finding(
+        rule=rule_id,
+        path=facts.rel_path,
+        line=site.line,
+        col=site.col,
+        end_line=site.end_line,
+        message=message,
+        snippet=site.snippet,
+    )
+
+
+@register
+class DurabilityOrderRule(Rule):
+    id = "RL007"
+    name = "durability-ordering"
+    description = (
+        "required syncs precede acknowledgement: blob sync_active before a "
+        "sync WAL append; segment upload before its MANIFEST record; view "
+        "persist before the tag-9 commit"
+    )
+
+    def check_facts(self, project: "ProjectFacts") -> Iterable[Finding]:
+        graph = project.graph
+        findings: list[Finding] = []
+        for facts in project.files:
+            if not in_scopes(facts.pkg_path, project.config.sim_scopes):
+                continue
+            for fn in facts.functions:
+                for append in fn.appends:
+                    findings.extend(self._check_s1(graph, facts, append))
+                for commit in fn.commits:
+                    findings.extend(self._check_s2(graph, facts, commit))
+                    findings.extend(self._check_s3(graph, facts, commit))
+        return findings
+
+    def _check_s1(
+        self, graph: "CallGraph", facts: FileFacts, append: FlowSite
+    ) -> Iterable[Finding]:
+        before = frozenset(append.before)
+        if "divert_batch" not in before:
+            return
+        expanded = graph.expand_tokens(before)
+        if "sync_active" not in expanded:
+            yield _finding(
+                self.id,
+                facts,
+                append.site,
+                "WAL append follows a blob divert_batch with no "
+                "sync_active on any path before it — the WAL record "
+                "references blob bytes that may not be durable",
+            )
+
+    def _check_s2(
+        self, graph: "CallGraph", facts: FileFacts, commit: FlowSite
+    ) -> Iterable[Finding]:
+        before = frozenset(commit.before)
+        if "set_blob_segment" not in before:
+            return
+        expanded = graph.expand_tokens(before)
+        if not expanded & {"put", "complete_multipart"}:
+            yield _finding(
+                self.id,
+                facts,
+                commit.site,
+                "MANIFEST commit records a blob segment "
+                "(set_blob_segment) with no upload (put/"
+                "complete_multipart) before it — the MANIFEST may only "
+                "reference durable objects",
+            )
+
+    def _check_s3(
+        self, graph: "CallGraph", facts: FileFacts, commit: FlowSite
+    ) -> Iterable[Finding]:
+        before = frozenset(commit.before)
+        if "assign:sorted_view" not in before:
+            return
+        expanded = graph.expand_tokens(before)
+        if "persist" not in expanded:
+            yield _finding(
+                self.id,
+                facts,
+                commit.site,
+                "tag-9 sorted-view commit with no view persist on any "
+                "path before it — recovery would find a committed view "
+                "record with no view bytes to validate",
+            )
+
+
+@register
+class CrashWindowRule(Rule):
+    id = "RL008"
+    name = "crash-window-bracketing"
+    description = (
+        "durable writes between a reach() crash site and its MANIFEST "
+        "commit carry a crash-idempotent annotation; commits without a "
+        "reachable crash site are coverage gaps"
+    )
+
+    def check_facts(self, project: "ProjectFacts") -> Iterable[Finding]:
+        graph = project.graph
+        durable = frozenset(project.config.durable_tokens)
+        commit_tokens = frozenset(project.config.commit_tokens)
+        findings: list[Finding] = []
+        for facts in project.files:
+            if not in_scopes(facts.pkg_path, project.config.crash_window_scopes):
+                continue
+            for fn in facts.functions:
+                for window in fn.windows:
+                    if window.annotated or window.token in commit_tokens:
+                        continue
+                    if not graph.is_durable(window.token, durable):
+                        continue
+                    findings.append(
+                        _finding(
+                            self.id,
+                            facts,
+                            window.site,
+                            f"durable write ({window.token}) between a "
+                            "crash site and its MANIFEST commit has no "
+                            "crash-idempotent annotation — assert (and "
+                            "let crashmonkey check) that recovery "
+                            "tolerates the half-applied effect",
+                        )
+                    )
+                for commit in fn.commits:
+                    if not commit.reach_before:
+                        findings.append(
+                            _finding(
+                                self.id,
+                                facts,
+                                commit.site,
+                                "MANIFEST commit with no reach() crash "
+                                "site on any path before it — the "
+                                "crashmonkey matrix cannot explore the "
+                                "window this commit closes (crash-"
+                                "coverage gap)",
+                            )
+                        )
+        return findings

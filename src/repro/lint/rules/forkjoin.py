@@ -1,0 +1,206 @@
+"""RL006 — fork/join race detector.
+
+:class:`~repro.sim.clock.ForkJoinRegion` models concurrent branches on a
+simulated clock: each ``with region.branch() as child:`` block *would* run
+in parallel with its siblings, and only ``region.join()`` is a
+synchronization point. Execution here is sequential, so nothing actually
+races — which is exactly why these bugs ship: the code works under the
+simulator and describes a data race in the system being modeled (the PR 5
+far-level starvation and PR 6 reentrancy bugs were both this shape).
+
+Three violation classes, calibrated against the tree's sanctioned idioms:
+
+* **shared-state mutation in a branch** — rebinding or aug-assigning a
+  ``self`` attribute or a declared-global inside a branch body. Branch
+  results must leave through the sanctioned channels: keyed scatter
+  (``results[i] = ...`` — every branch owns a distinct key), in-place
+  accumulation (``collected.append(...)``), or a post-join fold. This is
+  checked *interprocedurally*: a branch calling ``self.helper()`` inherits
+  ``helper``'s self-attribute rebinds (rebinds only — augmented counters
+  are metrics, not protocol state, and attributing them would flood the
+  detector; the narrow closure walks same-class methods, then same-file
+  functions).
+* **cross-branch read of a branch-written local** — branch A rebinds a
+  function-level name and a sibling branch (or the same branch body under
+  a loop, i.e. the *next* fork) reads it before writing its own value:
+  a value handed between branches without passing through the join.
+  Reading a branch's result *after* its ``with`` block closes (the
+  fork-then-harvest idiom, e.g. subcompaction partitions) is fine — the
+  read is outside any branch.
+* **parent-clock bypass** — calling ``advance``/``child`` on the region's
+  parent clock inside a branch. Branch work must charge the branch's
+  child clock (the ``as child`` alias) or the join barrier computes the
+  wrong critical path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
+
+from repro.lint.finding import Finding
+from repro.lint.registry import Rule, register
+if TYPE_CHECKING:
+    from repro.lint.callgraph import CallGraph, ProjectFacts
+    from repro.lint.summaries import (
+        BranchFacts,
+        BranchWrite,
+        FileFacts,
+        FunctionFacts,
+        RegionFacts,
+        SiteRef,
+    )
+
+
+def _finding(rule_id: str, facts: FileFacts, site: SiteRef, message: str) -> Finding:
+    return Finding(
+        rule=rule_id,
+        path=facts.rel_path,
+        line=site.line,
+        col=site.col,
+        end_line=site.end_line,
+        message=message,
+        snippet=site.snippet,
+    )
+
+
+def _propagated_rebinds(
+    graph: "CallGraph", caller: FunctionFacts, token: str, budget: int = 40
+) -> list[str]:
+    """Self-attribute rebinds reachable through ``self.token()`` calls.
+
+    Resolution is narrow by design: methods of the caller's own class
+    first, else same-file functions — never the project-wide name match
+    the durability rules use, because ``self`` in an arbitrary same-named
+    method is a *different* object.
+    """
+    owner = graph.owner(caller)
+
+    def candidates(name: str) -> list[FunctionFacts]:
+        same_class = [
+            f
+            for f in owner.functions
+            if f.name == name and f.cls is not None and f.cls == caller.cls
+        ]
+        if same_class:
+            return same_class
+        return [f for f in owner.functions if f.name == name and f.cls is None]
+
+    seen: set[str] = set()
+    rebinds: set[str] = set()
+    pending = [token]
+    while pending and budget > 0:
+        budget -= 1
+        name = pending.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        for fn in candidates(name):
+            rebinds.update(fn.self_rebinds)
+            pending.extend(t for t in fn.calls if t not in seen)
+    return sorted(rebinds)
+
+
+@register
+class ForkJoinRaceRule(Rule):
+    id = "RL006"
+    name = "forkjoin-race"
+    description = (
+        "no shared-state mutation or parent-clock bypass inside a "
+        "ForkJoinRegion branch; branch results flow through keyed scatter, "
+        "accumulators, or a post-join fold"
+    )
+
+    def check_facts(self, project: "ProjectFacts") -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for facts in project.files:
+            for fn in facts.functions:
+                for region in fn.regions:
+                    findings.extend(self._check_region(project, facts, fn, region))
+        return findings
+
+    def _check_region(
+        self,
+        project: "ProjectFacts",
+        facts: FileFacts,
+        fn: FunctionFacts,
+        region: RegionFacts,
+    ) -> Iterable[Finding]:
+        branches = region.branches
+        for idx, branch in enumerate(branches):
+            # 1. Direct self/global mutation in the branch.
+            for write in branch.writes:
+                if write.scope in ("self", "global"):
+                    verb = "augments" if write.kind == "aug" else "rebinds"
+                    yield _finding(
+                        self.id,
+                        facts,
+                        write.site,
+                        f"branch {verb} shared {write.scope} state "
+                        f"{write.target!r} — a sibling branch races with it; "
+                        "scatter into a per-branch slot and fold after "
+                        "region.join()",
+                    )
+                elif write.scope == "local":
+                    yield from self._local_race(
+                        facts, branches, idx, branch, write
+                    )
+            # 2. Interprocedural: self-calls that rebind self attributes.
+            for token, site in branch.prop_calls:
+                rebinds = _propagated_rebinds(project.graph, fn, token)
+                if rebinds:
+                    listed = ", ".join(rebinds[:4])
+                    yield _finding(
+                        self.id,
+                        facts,
+                        site,
+                        f"branch calls {token}() which rebinds shared self "
+                        f"state ({listed}) — mutation crosses the fork "
+                        "boundary without a join",
+                    )
+            # 3. Parent-clock bypass.
+            for site in branch.bypass:
+                yield _finding(
+                    self.id,
+                    facts,
+                    site,
+                    f"branch charges the region's parent clock "
+                    f"({region.parent_expr}) directly — use the branch's "
+                    "child clock so the join computes the true critical path",
+                )
+
+    def _local_race(
+        self,
+        facts: FileFacts,
+        branches: list[BranchFacts],
+        idx: int,
+        branch: BranchFacts,
+        write: BranchWrite,
+    ) -> Iterable[Finding]:
+        target = write.target
+        for jdx, sibling in enumerate(branches):
+            if jdx == idx:
+                # Same branch counts as its own sibling under a loop —
+                # iteration N+1's read consumes iteration N's write — but
+                # only when the read precedes the branch's own write
+                # (read-modify-write); write-then-use is branch-local.
+                if not branch.in_loop:
+                    continue
+                read = branch.read_lines.get(target)
+                own = branch.write_lines.get(target)
+                if read is None or (own is not None and read > own):
+                    continue
+            elif (
+                target not in sibling.read_lines
+                and target not in sibling.write_lines
+            ):
+                continue
+            yield _finding(
+                self.id,
+                facts,
+                write.site,
+                f"branch rebinds {target!r}, which a sibling branch also "
+                "touches — the value crosses the fork boundary without "
+                "passing through region.join()",
+            )
+            return

@@ -21,17 +21,15 @@ The rule resolves each ``raise X(...)`` / ``raise X`` statement:
 
 from __future__ import annotations
 
-import ast
 import builtins
 from collections.abc import Iterable
 from typing import TYPE_CHECKING
 
 from repro.lint.finding import Finding
 from repro.lint.registry import Rule, register
-from repro.lint.rules._ast_util import last_name
 
 if TYPE_CHECKING:
-    from repro.lint.engine import LintContext, ModuleInfo
+    from repro.lint.callgraph import ProjectFacts
 
 ROOT_EXC = "ReproError"
 
@@ -42,17 +40,6 @@ BUILTIN_EXCEPTIONS = frozenset(
     if isinstance(getattr(builtins, name), type)
     and issubclass(getattr(builtins, name), BaseException)
 )
-
-
-def _class_table(ctx: "LintContext") -> dict[str, list[str]]:
-    """class name → base-class names (last path component), tree-wide."""
-    table: dict[str, list[str]] = {}
-    for module in ctx.modules:
-        for node in ast.walk(module.tree):
-            if isinstance(node, ast.ClassDef):
-                bases = [b for b in (last_name(base) for base in node.bases) if b]
-                table.setdefault(node.name, bases)
-    return table
 
 
 def _derives_from_root(
@@ -86,28 +73,30 @@ class ErrorTaxonomyRule(Rule):
         "Python-idiom types and CrashPointFired)"
     )
 
-    def check_project(self, ctx: "LintContext") -> Iterable[Finding]:
-        table = _class_table(ctx)
-        whitelist = frozenset(ctx.config.raise_whitelist)
+    def check_facts(self, project: "ProjectFacts") -> Iterable[Finding]:
+        table: dict[str, list[str]] = {}
+        for facts in project.files:
+            for name, bases in facts.classes.items():
+                table.setdefault(name, bases)
+        whitelist = frozenset(project.config.raise_whitelist)
         findings: list[Finding] = []
-        for module in ctx.modules:
-            for node in ast.walk(module.tree):
-                if not isinstance(node, ast.Raise) or node.exc is None:
-                    continue
-                exc = node.exc
-                target = exc.func if isinstance(exc, ast.Call) else exc
-                name = last_name(target)
-                if name is None:
-                    continue
+        for facts in project.files:
+            for name, ref in facts.raises:
                 verdict = _derives_from_root(name, table, whitelist)
                 if verdict is False:
                     findings.append(
-                        module.finding(
-                            self.id,
-                            node,
-                            f"raise {name}: not a ReproError subclass and not "
-                            "whitelisted — callers are promised a single "
-                            "catchable ReproError root",
+                        Finding(
+                            rule=self.id,
+                            path=facts.rel_path,
+                            line=ref.line,
+                            col=ref.col,
+                            end_line=ref.end_line,
+                            snippet=ref.snippet,
+                            message=(
+                                f"raise {name}: not a ReproError subclass and "
+                                "not whitelisted — callers are promised a "
+                                "single catchable ReproError root"
+                            ),
                         )
                     )
         return findings

@@ -28,7 +28,10 @@ def parse_suppressions(lines: list[str]) -> dict[int, frozenset[str]]:
 
     A suppression written on a line that holds only a comment is attached
     to the *following* line as well, covering multi-line statements whose
-    trailing comment would not fit.
+    trailing comment would not fit. When the following lines are decorator
+    lines (``@…``), the suppression propagates past them to the decorated
+    ``def``/``class`` itself — findings anchor on the definition node, not
+    its decorators.
     """
     suppressed: dict[int, frozenset[str]] = {}
     for lineno, text in enumerate(lines, start=1):
@@ -46,7 +49,15 @@ def parse_suppressions(lines: list[str]) -> dict[int, frozenset[str]]:
             ) or ALL_RULES
         targets = [lineno]
         if text.lstrip().startswith("#"):
-            targets.append(lineno + 1)
+            target = lineno + 1
+            targets.append(target)
+            # Skip over a decorator stack to the definition it decorates.
+            while (
+                target <= len(lines)
+                and lines[target - 1].lstrip().startswith("@")
+            ):
+                target += 1
+                targets.append(target)
         for target in targets:
             existing = suppressed.get(target, frozenset())
             suppressed[target] = existing | rules

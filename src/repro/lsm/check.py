@@ -34,7 +34,7 @@ from repro.lsm.format import blob_file_name, parse_file_name, table_file_name
 from repro.lsm.options import Options
 from repro.lsm.sortedview import files_crc
 from repro.lsm.table_reader import TableReader
-from repro.lsm.version import VersionSet
+from repro.lsm.version import FileMetaData, VersionSet
 from repro.lsm.wal import LogReader
 from repro.storage.env import Env
 from repro.util.crc import masked_crc32
@@ -81,7 +81,7 @@ def check_table(
     options: Options,
     report: CheckReport,
     *,
-    meta=None,
+    meta: FileMetaData | None = None,
     blob_refs: list[tuple[str, BlobPointer]] | None = None,
 ) -> None:
     """Verify one SSTable file end to end.

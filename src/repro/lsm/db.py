@@ -24,12 +24,13 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field, replace
-from typing import Any
+from typing import TYPE_CHECKING, Any, Protocol
 
 from repro.errors import ClosedError, CorruptionError, InvalidArgumentError, RecoveryError
 from repro.lsm.blob import maybe_pointer
 from repro.lsm.block_cache import LRUBlockCache
 from repro.lsm.compaction import (
+    Compaction,
     CompactionEvent,
     CompactionJob,
     CompactionPicker,
@@ -52,12 +53,13 @@ from repro.lsm.sortedview import (
     view_matches_files,
 )
 from repro.lsm.table_builder import BlockMeta, TableBuilder, TableProperties
-from repro.lsm.table_cache import TableCache
-from repro.lsm.version import FileMetaData, VersionEdit, VersionSet
+from repro.lsm.table_cache import LoaderWrapper, TableCache
+from repro.lsm.table_reader import BlockLoader
+from repro.lsm.version import FileMetaData, Version, VersionEdit, VersionSet
 from repro.lsm.wal import LogWriter, read_log_file
 from repro.lsm.write_batch import WriteBatch
 from repro.sim.failure import crash_points
-from repro.storage.env import Env
+from repro.storage.env import Env, RandomAccessFile
 from repro.util.encoding import (
     MAX_SEQUENCE,
     TYPE_DELETION,
@@ -66,6 +68,9 @@ from repro.util.encoding import (
     make_internal_key,
     parse_internal_key,
 )
+
+if TYPE_CHECKING:
+    from repro.mash.bloblog import BlobLog
 
 
 @dataclass(frozen=True)
@@ -96,6 +101,24 @@ class Snapshot:
         self.sequence = sequence
 
 
+class WalWriter(Protocol):
+    """Write side of one WAL generation (LogWriter or the sharded xWAL)."""
+
+    def add_record(self, payload: bytes, *, sync: bool = True) -> None: ...
+
+    def sync(self) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class ViewStore(Protocol):
+    """Durable home for sorted-view generations (see PCacheViewStore)."""
+
+    def persist(self, stamp: int, payload: bytes) -> None: ...
+
+    def load(self, stamp: int) -> bytes | None: ...
+
+
 class DB:
     """An LSM-tree key–value store over an :class:`Env`."""
 
@@ -105,9 +128,9 @@ class DB:
         prefix: str,
         options: Options | None = None,
         *,
-        loader_wrapper=None,
-        footer_source=None,
-        view_store=None,
+        loader_wrapper: LoaderWrapper | None = None,
+        footer_source: Callable[[str], bytes | None] | None = None,
+        view_store: ViewStore | None = None,
     ) -> None:
         """Use :meth:`DB.open` instead of constructing directly."""
         self.env = env
@@ -156,7 +179,7 @@ class DB:
             self._picker = CompactionPicker(self.options)
         self.compaction_stats = CompactionStats()
         self._snapshots: list[int] = []
-        self._wal: LogWriter | None = None
+        self._wal: WalWriter | None = None
         self._wal_number = 0
         self._closed = False
         self.flush_count = 0
@@ -194,10 +217,10 @@ class DB:
 
     # -- loader composition -------------------------------------------------
 
-    def _compose_loader_wrapper(self):
+    def _compose_loader_wrapper(self) -> LoaderWrapper:
         """Chain: direct I/O → user wrapper (persistent cache) → DRAM cache."""
 
-        def wrapper(name, file, direct):
+        def wrapper(name: str, file: RandomAccessFile, direct: BlockLoader) -> BlockLoader:
             loader = direct
             if self._user_loader_wrapper is not None:
                 loader = self._user_loader_wrapper(name, file, loader)
@@ -207,10 +230,11 @@ class DB:
 
         return wrapper
 
-    def _dram_cached_loader(self, name, next_loader):
+    def _dram_cached_loader(self, name: str, next_loader: BlockLoader) -> BlockLoader:
         cache = self.block_cache
+        assert cache is not None
 
-        def load(file_name, handle, kind):
+        def load(file_name: str, handle: BlockHandle, kind: str) -> bytes:
             if kind != "data":
                 return next_loader(file_name, handle, kind)
             payload = cache.get(file_name, handle.offset)
@@ -234,8 +258,8 @@ class DB:
         *,
         create_if_missing: bool = True,
         error_if_exists: bool = False,
-        loader_wrapper=None,
-        **subclass_kwargs,
+        loader_wrapper: LoaderWrapper | None = None,
+        **subclass_kwargs: Any,
     ) -> "DB":
         """Open (recovering) or create a database under ``prefix``.
 
@@ -259,6 +283,7 @@ class DB:
                 # magic and be misread as a pointer (see _recover).
                 edit = VersionEdit()
                 edit.blob_separation = True
+                # reprolint: ignore[RL008] -- creation-time brand: no acked state precedes it
                 db.versions.log_and_apply(edit)
             db._rotate_wal()
             if db.options.sorted_view:
@@ -281,7 +306,7 @@ class DB:
         if self._closed:
             raise ClosedError("database is closed")
 
-    def _open_blob_store(self):
+    def _open_blob_store(self) -> BlobLog | None:
         """Build the blob value log when key-value separation is enabled.
 
         The base engine has no cloud tier to seal segments into, so it
@@ -291,7 +316,7 @@ class DB:
 
     # -- WAL strategy (overridden by the extended-WAL store) -----------------
 
-    def _open_wal(self, number: int):
+    def _open_wal(self, number: int) -> WalWriter:
         """Create the write-side WAL object for log generation ``number``."""
         return LogWriter(self.env.new_writable_file(log_file_name(self.prefix, number)))
 
@@ -526,6 +551,8 @@ class DB:
         self._view_event("view_build")
         crash_points.reach("view.before_persist")
         if self.view_store is not None:
+            # crash-idempotent: a half-written or stale view fails its CRC
+            # gate on recovery and the next flush/compaction rebuilds it.
             self.view_store.persist(stamp, encode_view(view))
         crash_points.reach("view.before_manifest")
         edit = VersionEdit()
@@ -680,6 +707,9 @@ class DB:
         edit = VersionEdit(last_sequence=sequence)
         edit.add_file(target, meta)
         self.versions.last_sequence = sequence
+        # Leave-behind: the ingested table file exists on disk but no
+        # MANIFEST entry references it; recovery's orphan purge removes it.
+        crash_points.reach("ingest.before_manifest")
         self.versions.log_and_apply(edit)
         self._refresh_sorted_view({meta.number: props.blocks})
         event = FlushEvent(meta=meta, properties=props, level=target)
@@ -736,14 +766,14 @@ class DB:
 
     # -- version pinning (live iterators vs compaction) -------------------
 
-    def _pin_version(self):
+    def _pin_version(self) -> Version:
         """Pin the current version so its files survive compactions while a
         live iterator still reads them (deletion is deferred to unpin)."""
         version = self.versions.current
         self._pinned_versions.append(version)
         return version
 
-    def _unpin_version(self, version) -> None:
+    def _unpin_version(self, version: Version) -> None:
         self._pinned_versions.remove(version)
         self._purge_deferred_deletes()
 
@@ -842,7 +872,7 @@ class DB:
         if self.blob_store is not None:
             self.blob_store.run_gc(self)
 
-    def _run_compaction(self, compaction) -> None:
+    def _run_compaction(self, compaction: Compaction) -> None:
         job = CompactionJob(
             self.env,
             self.prefix,
@@ -966,7 +996,9 @@ class DB:
             return value
         return self.blob_store.resolve(pointer, key)
 
-    def _resolve_entries(self, entries):
+    def _resolve_entries(
+        self, entries: Iterator[tuple[bytes, bytes]]
+    ) -> Iterator[tuple[bytes, bytes]]:
         """Lazily resolve blob pointers in a scan's (key, value) stream."""
         if self.blob_store is None:
             yield from entries
@@ -1217,7 +1249,9 @@ class DB:
         return plan
 
     @staticmethod
-    def _files_in_scan_range(files, begin: bytes | None, end: bytes | None):
+    def _files_in_scan_range(
+        files: list[FileMetaData], begin: bytes | None, end: bytes | None
+    ) -> list[FileMetaData]:
         """Files whose key range intersects the half-open scan [begin, end).
 
         Unlike :meth:`FileMetaData.overlaps_user_range` (inclusive end,
@@ -1231,14 +1265,21 @@ class DB:
             and not (end is not None and meta.smallest_user_key >= end)
         ]
 
-    def _table_reverse_iter(self, meta: FileMetaData, bound: bytes | None):
+    def _table_reverse_iter(
+        self, meta: FileMetaData, bound: bytes | None
+    ) -> Iterator[tuple[bytes, bytes]]:
         reader = self.table_cache.get_reader(meta.number)
         if bound is None:
             return reader.reverse_iter()
         return reader.seek_reverse(bound)
 
-    def _level_reverse_iter(self, files, bound: bytes | None, pipeline=None):
-        def gen():
+    def _level_reverse_iter(
+        self,
+        files: list[FileMetaData],
+        bound: bytes | None,
+        pipeline: Any = None,
+    ) -> Iterator[tuple[bytes, bytes]]:
+        def gen() -> Iterator[tuple[bytes, bytes]]:
             ordered = list(reversed(files))
             for index, meta in enumerate(ordered):
                 if pipeline is not None:
@@ -1247,14 +1288,21 @@ class DB:
 
         return gen()
 
-    def _table_iter(self, meta: FileMetaData, seek_key: bytes | None):
+    def _table_iter(
+        self, meta: FileMetaData, seek_key: bytes | None
+    ) -> Iterator[tuple[bytes, bytes]]:
         reader = self.table_cache.get_reader(meta.number)
         if seek_key is None:
             return iter(reader)
         return reader.seek(seek_key)
 
-    def _level_iter(self, files, seek_key: bytes | None, pipeline=None):
-        def gen():
+    def _level_iter(
+        self,
+        files: list[FileMetaData],
+        seek_key: bytes | None,
+        pipeline: Any = None,
+    ) -> Iterator[tuple[bytes, bytes]]:
+        def gen() -> Iterator[tuple[bytes, bytes]]:
             for index, meta in enumerate(files):
                 if pipeline is not None:
                     pipeline.table_started(files, index, seek_key)
@@ -1276,7 +1324,7 @@ class DB:
 
     # -- introspection -------------------------------------------------------------------------
 
-    def get_property(self, name: str):
+    def get_property(self, name: str) -> int | float | str:
         """RocksDB-style introspection properties.
 
         Supported names (prefix ``repro.``):

@@ -133,8 +133,12 @@ def visible_user_entries_reverse(
     current_key: bytes | None = None
     candidate: tuple[int, bytes] | None = None  # (value_type, value)
 
-    def emit():
-        if candidate is not None and candidate[0] != TYPE_DELETION:
+    def emit() -> tuple[bytes, bytes] | None:
+        if (
+            current_key is not None
+            and candidate is not None
+            and candidate[0] != TYPE_DELETION
+        ):
             return (current_key, candidate[1])
         return None
 

@@ -229,10 +229,14 @@ class BlobLog:
         store = self.env.cloud.store
         if len(data) > self.part_bytes:
             for offset in range(0, len(data), self.part_bytes):
+                # crash-idempotent: recovery re-seals from the intact local
+                # copy; an abandoned multipart upload is invisible.
                 store.upload_part(name, data[offset : offset + self.part_bytes])
                 # Leave-behind: abandoned multipart upload; the segment is
                 # invisible in the cloud, the local copy intact.
                 crash_points.reach("bloblog.seal_mid_upload")
+            # crash-idempotent: keyed by name; a recovery re-seal overwrites
+            # the same object with identical bytes.
             store.complete_multipart(name, data)
         else:
             store.put(name, data)
@@ -321,6 +325,8 @@ class BlobLog:
                 # Leave-behind: MANIFEST no longer knows the segment but the
                 # object still exists — recovery collects the orphan.
                 crash_points.reach("bloblog.gc_before_segment_delete")
+                # crash-idempotent: the MANIFEST already forgot the segment;
+                # recovery's orphan sweep redoes a lost delete.
                 host.drop_blob_segment(number)
                 self._rewritten.discard(number)
                 self.bytes_reclaimed += total

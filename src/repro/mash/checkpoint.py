@@ -21,6 +21,7 @@ Checkpoint layout in the object store::
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import NotFoundError, RecoveryError
 from repro.lsm.format import (
@@ -38,6 +39,10 @@ from repro.storage.env import CLOUD
 from repro.storage.local import LocalDevice
 from repro.util.crc import masked_crc32
 from repro.util.encoding import encode_fixed32
+
+if TYPE_CHECKING:
+    from repro.sim.clock import SimClock
+    from repro.mash.store import RocksMashStore, StoreConfig
 
 CHECKPOINT_PREFIX = "checkpoints/"
 
@@ -67,7 +72,7 @@ def _checkpoint_blob_key(name: str, number: int) -> str:
     return f"{CHECKPOINT_PREFIX}{name}/{number:06d}.blob"
 
 
-def create_checkpoint(store, name: str) -> CheckpointInfo:
+def create_checkpoint(store: RocksMashStore, name: str) -> CheckpointInfo:
     """Snapshot a RocksMash store into the cloud under ``name``.
 
     The store keeps running; the checkpoint captures everything written
@@ -161,11 +166,11 @@ def delete_checkpoint(cloud: CloudObjectStore, name: str) -> int:
 def restore_checkpoint(
     cloud: CloudObjectStore,
     name: str,
-    config,
+    config: StoreConfig,
     *,
-    clock=None,
+    clock: SimClock | None = None,
     counters: CounterSet | None = None,
-):
+) -> RocksMashStore:
     """Materialize a new RocksMash store from checkpoint ``name``.
 
     Tables are server-side copied into the new store's namespace (still in

@@ -23,6 +23,7 @@ exactly the ablation of experiment E8/E12b.
 from __future__ import annotations
 
 from bisect import bisect_left
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.lsm.compaction import CompactionEvent
@@ -108,7 +109,7 @@ class BlockHeatTracker:
     # -- inheritance ------------------------------------------------------------
 
     def plan_inheritance(
-        self, event: CompactionEvent, name_of
+        self, event: CompactionEvent, name_of: Callable[[int], str]
     ) -> list[tuple[str, BlockMeta, float]]:
         """Compute (output_file, block, inherited_heat) for one compaction.
 

@@ -26,6 +26,7 @@ uploads is ticked as ``compaction.upload_overlap_us_saved``.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.lsm.compaction import CompactionEvent
@@ -81,7 +82,7 @@ class PlacementConfig:
             raise ValueError("promotion requires local_bytes_budget")
 
 
-def make_router(prefix: str):
+def make_router(prefix: str) -> Callable[[str], str]:
     """HybridEnv router: every file is *born* local.
 
     SSTables are always written locally first (fast flush/compaction) and
@@ -238,7 +239,7 @@ class PlacementManager:
 
     # -- promotion (up-tiering) ---------------------------------------------------
 
-    def maybe_promote(self, heat_of_file) -> int:
+    def maybe_promote(self, heat_of_file: Callable[[str], float]) -> int:
         """Promote the hottest cloud tables into the budget's headroom.
 
         ``heat_of_file(name) -> float`` supplies access heat (typically

@@ -24,16 +24,19 @@ crash) over the same simulated devices.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import NotFoundError
 from repro.lsm.compaction import CompactionEvent
-from repro.lsm.db import DB, FlushEvent
+from repro.lsm.db import DB, FlushEvent, Snapshot, WalWriter
 from repro.lsm.format import (
     BLOCK_TRAILER_SIZE,
+    BlockHandle,
     table_file_name,
     unseal_block,
 )
 from repro.lsm.options import Options
+from repro.lsm.table_reader import BlockLoader
 from repro.facade import StoreFacade
 from repro.mash.layout import BlockHeatTracker, LayoutConfig
 from repro.mash.pcache import PCacheConfig, PersistentCache
@@ -42,12 +45,19 @@ from repro.mash.prefetch import ScanPrefetcher
 from repro.mash.readahead import ReadaheadBuffer
 from repro.mash.xwal import XWalConfig, XWalReplayer, XWalWriter
 from repro.metrics.counters import CounterSet
+from repro.obs.trace import Tracer
 from repro.sim.clock import ForkJoinRegion, SimClock, StopwatchRegion
 from repro.sim.latency import LatencyModel, cloud_object_storage, nvme_ssd
 from repro.storage.cloud import CloudObjectStore
 from repro.storage.cost import CostModel
-from repro.storage.env import CLOUD, CloudEnv, HybridEnv, LocalEnv
+from repro.storage.env import CLOUD, CloudEnv, HybridEnv, LocalEnv, RandomAccessFile
 from repro.storage.local import LocalDevice
+
+if TYPE_CHECKING:
+    # reprolint: ignore[RL005] -- annotation-only import, never executed
+    from pathlib import Path
+
+    from repro.mash.bloblog import BlobLog
 
 
 @dataclass
@@ -113,15 +123,15 @@ class MashDB(DB):
         local_device: LocalDevice,
         placement_config: PlacementConfig | None = None,
         blob_pcache: PersistentCache | None = None,
-        **kw,
-    ):
+        **kw: Any,
+    ) -> None:
         self._xwal_config = xwal_config
         self._local_device = local_device
         self._placement_config = placement_config
         self._blob_pcache = blob_pcache
         super().__init__(*args, **kw)
 
-    def _open_blob_store(self):
+    def _open_blob_store(self) -> BlobLog | None:
         if self.options.blob_value_threshold <= 0:
             return None
         # Late import: bloblog imports lsm modules this module also pulls in.
@@ -142,7 +152,7 @@ class MashDB(DB):
             pcache=self._blob_pcache,
         )
 
-    def _open_wal(self, number: int):
+    def _open_wal(self, number: int) -> WalWriter:
         return XWalWriter(
             self.env, self._local_device, self.prefix, number, self._xwal_config
         )
@@ -188,7 +198,7 @@ class PCacheViewStore:
         prefix: str,
         *,
         clock: SimClock,
-        tracer,
+        tracer: Tracer,
     ) -> None:
         self.pcache = pcache
         self.prefix = prefix
@@ -343,7 +353,7 @@ class RocksMashStore(StoreFacade):
     @classmethod
     def at_directory(
         cls,
-        path,
+        path: str | Path,
         config: StoreConfig | None = None,
         *,
         clock: SimClock | None = None,
@@ -428,7 +438,9 @@ class RocksMashStore(StoreFacade):
 
     # -- batched reads with modelled parallel cloud fetches --------------------
 
-    def multi_get(self, keys, *, snapshot=None):
+    def multi_get(
+        self, keys: list[bytes], *, snapshot: Snapshot | None = None
+    ) -> dict[bytes, bytes | None]:
         """Batched point lookups with concurrent cloud fetches.
 
         Keys are served in waves of ``multi_get_parallelism``; within a
@@ -456,7 +468,9 @@ class RocksMashStore(StoreFacade):
 
     # -- pipelined scan prefetch ---------------------------------------------------
 
-    def _make_scan_prefetcher(self, begin, end):
+    def _make_scan_prefetcher(
+        self, begin: bytes | None, end: bytes | None
+    ) -> ScanPrefetcher:
         """Per-scan prefetch pipeline (``DB.scan_pipeline_factory`` hook).
 
         One :class:`ScanPrefetcher` per forward scan: seek fan-out of the
@@ -480,7 +494,7 @@ class RocksMashStore(StoreFacade):
         self._scan_prefetchers.append(prefetcher)
         return prefetcher
 
-    def _prefetched_buffer(self, file_name: str):
+    def _prefetched_buffer(self, file_name: str) -> ReadaheadBuffer | None:
         """The active scan pipeline's primed buffer for a file, if any."""
         for prefetcher in reversed(self._scan_prefetchers):
             buffer = prefetcher.buffers.get(file_name)
@@ -490,7 +504,9 @@ class RocksMashStore(StoreFacade):
 
     # -- block-fetch interception ------------------------------------------------
 
-    def _pcache_loader_wrapper(self, name, file, next_loader):
+    def _pcache_loader_wrapper(
+        self, name: str, file: RandomAccessFile, next_loader: BlockLoader
+    ) -> BlockLoader:
         readahead = None
         if self.config.scan_readahead_bytes > 0:
             readahead = ReadaheadBuffer(
@@ -499,7 +515,7 @@ class RocksMashStore(StoreFacade):
                 verify=self.config.options.paranoid_checks,
             )
 
-        def load(file_name: str, handle, kind: str) -> bytes:
+        def load(file_name: str, handle: BlockHandle, kind: str) -> bytes:
             if kind in ("index", "filter"):
                 cached = self.pcache.get_meta(file_name, kind)
                 if cached is not None:
@@ -597,7 +613,7 @@ class RocksMashStore(StoreFacade):
             for output in event.outputs:
                 self._pin_metadata(name_of(output.meta.number))
 
-    def _read_local_block(self, file_name: str, handle) -> bytes | None:
+    def _read_local_block(self, file_name: str, handle: BlockHandle) -> bytes | None:
         if not self.env.file_exists(file_name):
             return None
         file = self.env.new_random_access_file(file_name)

@@ -207,7 +207,7 @@ class XWalReplayer:
         if not names:
             return
         region = ForkJoinRegion(self.device.clock, [self.device])
-        collected: list[list[XWalOp]] = []
+        collected: list[tuple[list[XWalOp], bool]] = []
         for name in names:
             with region.branch() as child:
                 data = self.env.read_file(name)
@@ -215,15 +215,17 @@ class XWalReplayer:
                 shard_ops: list[XWalOp] = []
                 for record in reader:
                     shard_ops.extend(decode_shard_record(record))
-                if reader.tail_corrupt:
-                    self.corrupt_shards += 1
                 apply_cost = self.config.apply_cost_per_record * len(shard_ops)
                 child.advance(apply_cost)
                 tracer = getattr(self.device, "tracer", None)
                 if tracer is not None:
                     tracer.charge("cpu", apply_cost)
-                collected.append(shard_ops)
+                collected.append((shard_ops, reader.tail_corrupt))
         region.join()
-        for shard_ops in collected:
+        # Shared counters fold *after* the join: branches model concurrent
+        # readers, and sibling read-modify-write on self would race (RL006).
+        for shard_ops, tail_corrupt in collected:
+            if tail_corrupt:
+                self.corrupt_shards += 1
             self.records_replayed += len(shard_ops)
             yield from shard_ops

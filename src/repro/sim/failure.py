@@ -206,6 +206,10 @@ CRASH_SITES: dict[str, str] = {
         "sorted-view edit not yet committed (orphan view payload; the "
         "stale recorded stamp mismatches and recovery rebuilds)"
     ),
+    "ingest.before_manifest": (
+        "ingested table file fully written, manifest edit not yet committed "
+        "(orphan table purged at recovery; the ingest was never acked)"
+    ),
 }
 
 

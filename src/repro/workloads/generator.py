@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 import random
+from typing import Protocol
 
 from repro.util.crc import crc32
 
@@ -24,6 +25,12 @@ def make_value(index: int, size: int) -> bytes:
     seed = (index * 2654435761) & 0xFFFFFFFF
     rng = random.Random(seed)
     return rng.randbytes(size)
+
+
+class RequestGenerator(Protocol):
+    """What the runners need from a key-request generator."""
+
+    def next(self) -> int: ...
 
 
 class SequentialGenerator:
@@ -117,7 +124,7 @@ class LatestGenerator:
 
 def make_request_generator(
     distribution: str, count: int, *, theta: float = 0.99, seed: int = 0
-):
+) -> RequestGenerator:
     """Factory used by the YCSB runner."""
     if distribution == "uniform":
         return UniformGenerator(count, seed)

@@ -34,7 +34,13 @@ from typing import Any
 
 from repro.metrics.latency import LatencyHistogram
 from repro.sim.clock import StopwatchRegion
-from repro.workloads.generator import make_key, make_request_generator, make_value
+from repro.facade import StoreFacade
+from repro.workloads.generator import (
+    LatestGenerator,
+    make_key,
+    make_request_generator,
+    make_value,
+)
 
 
 @dataclass(frozen=True)
@@ -125,7 +131,7 @@ def iter_ops(spec: YCSBSpec, *, seed: int = 42) -> Iterator[Op]:
         elif r < spec.read_proportion + spec.update_proportion + spec.insert_proportion:
             key = make_key(insert_cursor)
             insert_cursor += 1
-            if hasattr(request, "set_count"):
+            if isinstance(request, LatestGenerator):
                 request.set_count(insert_cursor)
             yield Op("insert", key, make_value(insert_cursor, spec.value_size))
         elif (
@@ -230,14 +236,14 @@ class YCSBResult:
         return self.operations / self.elapsed_seconds
 
 
-def load_phase(store, spec: YCSBSpec, *, sync: bool = True) -> None:
+def load_phase(store: StoreFacade, spec: YCSBSpec, *, sync: bool = True) -> None:
     """Insert ``record_count`` records (the YCSB load phase)."""
     for i in range(spec.record_count):
         store.put(make_key(i), make_value(i, spec.value_size), sync=sync)
     store.flush()
 
 
-def run_phase(store, spec: YCSBSpec, *, seed: int = 42) -> YCSBResult:
+def run_phase(store: StoreFacade, spec: YCSBSpec, *, seed: int = 42) -> YCSBResult:
     """Execute the transaction phase closed-loop; returns simulated-time
     results. Consumes the same :func:`iter_ops` stream as the open-loop
     front-end, one op at a time with no think time."""
@@ -260,7 +266,7 @@ def run_phase(store, spec: YCSBSpec, *, seed: int = 42) -> YCSBResult:
     return result
 
 
-def run_workload(store, spec: YCSBSpec, *, seed: int = 42, load: bool = True) -> YCSBResult:
+def run_workload(store: StoreFacade, spec: YCSBSpec, *, seed: int = 42, load: bool = True) -> YCSBResult:
     """Convenience: load phase (optional) then transaction phase."""
     if load:
         load_phase(store, spec)

@@ -36,7 +36,7 @@ class TestRealTree:
         import json
 
         doc = json.loads((REPO_ROOT / "reprolint.baseline.json").read_text())
-        assert doc["version"] == 1
+        assert doc["version"] == 2
         assert doc["findings"] == {}
 
 
@@ -104,8 +104,12 @@ class TestMutationSelfTests:
             "pass",
         )
         findings = findings_for(tree_copy.parent)
-        assert [f.rule for f in findings] == ["RL003"]
-        assert "bloblog.gc_before_segment_delete" in findings[0].message
+        # RL003 flags the registry drift; RL008 independently flags the
+        # MANIFEST commit that lost its crash-site bracket (coverage gap).
+        assert sorted({f.rule for f in findings}) == ["RL003", "RL008"]
+        assert any(
+            "bloblog.gc_before_segment_delete" in f.message for f in findings
+        )
 
     def test_deleting_view_persist_tier_charge_fails_rl002(self, tree_copy):
         # Sorted-view persistence models its codec cost on the CPU tier;
@@ -180,8 +184,9 @@ class TestMutationSelfTests:
             "pass",
         )
         findings = findings_for(tree_copy.parent)
-        assert [f.rule for f in findings] == ["RL003"]
-        assert "flush.before_manifest" in findings[0].message
+        # Registry drift (RL003) plus the de-bracketed flush commit (RL008).
+        assert sorted({f.rule for f in findings}) == ["RL003", "RL008"]
+        assert any("flush.before_manifest" in f.message for f in findings)
 
     def test_ad_hoc_runtime_error_fails_rl004(self, tree_copy):
         path = tree_copy / "util" / "varint.py"
@@ -212,3 +217,133 @@ class TestMutationSelfTests:
         )
         findings = findings_for(tree_copy.parent)
         assert {f.rule for f in findings} == {"RL001"}
+
+
+class TestInterproceduralMutations:
+    """RL006–RL010 mutation self-tests: each seeded interprocedural bug is
+    caught by exactly the expected rule on the expected file."""
+
+    def test_branch_write_to_shared_self_state_fails_rl006(self, tree_copy):
+        # Re-introduce the race this PR fixed: counting corrupt shards
+        # inside a fork/join branch instead of folding after the join.
+        mutate(
+            tree_copy / "mash" / "xwal.py",
+            "                collected.append((shard_ops, reader.tail_corrupt))\n",
+            "                if reader.tail_corrupt:\n"
+            "                    self.corrupt_shards += 1\n"
+            "                collected.append((shard_ops, reader.tail_corrupt))\n",
+        )
+        findings = findings_for(tree_copy.parent)
+        assert [(f.rule, f.path.endswith("mash/xwal.py")) for f in findings] == [
+            ("RL006", True)
+        ]
+        assert "corrupt_shards" in findings[0].message
+
+    def test_branch_charging_parent_clock_fails_rl006(self, tree_copy):
+        # Branch work must charge the branch's child clock; charging the
+        # region's parent clock directly breaks the join-barrier math.
+        mutate(
+            tree_copy / "mash" / "xwal.py",
+            "                child.advance(apply_cost)\n",
+            "                self.device.clock.advance(apply_cost)\n",
+        )
+        findings = findings_for(tree_copy.parent)
+        assert [f.rule for f in findings] == ["RL006"]
+        assert "parent clock" in findings[0].message
+
+    def test_deleting_blob_sync_before_wal_sync_fails_rl007(self, tree_copy):
+        # A sync=True WAL append durably acks earlier pointer records, so
+        # the blob bytes they reference must be synced first (S1).
+        mutate(
+            tree_copy / "mash" / "bloblog.py",
+            "            if sync:\n"
+            "                # A sync=True WAL append makes *every* earlier unsynced WAL\n"
+            "                # record durable, including pointers from prior sync=False\n"
+            "                # batches — their blob bytes must become durable first.\n"
+            "                self.sync_active()\n",
+            "            if sync:\n"
+            "                pass\n",
+        )
+        findings = findings_for(tree_copy.parent)
+        assert [f.rule for f in findings] == ["RL007"]
+        assert "sync_active" in findings[0].message
+
+    def test_deleting_view_persist_before_commit_fails_rl007(self, tree_copy):
+        # The tag-9 sorted-view commit must be preceded by the view persist
+        # (S3), else recovery records a stamp whose payload never existed.
+        mutate(
+            tree_copy / "lsm" / "db.py",
+            "            self.view_store.persist(stamp, encode_view(view))\n",
+            "            pass\n",
+        )
+        findings = findings_for(tree_copy.parent)
+        assert [f.rule for f in findings] == ["RL007"]
+        assert "persist" in findings[0].message
+
+    def test_removing_crash_idempotent_annotation_fails_rl008(self, tree_copy):
+        # A durable write inside a crash window must carry its recovery
+        # contract; stripping the annotation resurfaces the obligation.
+        mutate(
+            tree_copy / "mash" / "bloblog.py",
+            "                # crash-idempotent: the MANIFEST already forgot the segment;\n"
+            "                # recovery's orphan sweep redoes a lost delete.\n"
+            "                host.drop_blob_segment(number)\n",
+            "                host.drop_blob_segment(number)\n",
+        )
+        findings = findings_for(tree_copy.parent)
+        assert [f.rule for f in findings] == ["RL008"]
+        assert "drop_blob_segment" in findings[0].message
+
+    def test_removing_ingest_reach_bracket_fails_rl008(self, tree_copy):
+        # Deleting the reach() that brackets the ingest commit reopens the
+        # crash-coverage gap this PR closed (plus RL003 registry drift).
+        mutate(
+            tree_copy / "lsm" / "db.py",
+            'crash_points.reach("ingest.before_manifest")',
+            "pass",
+        )
+        findings = findings_for(tree_copy.parent)
+        assert sorted({f.rule for f in findings}) == ["RL003", "RL008"]
+        assert any("crash-coverage gap" in f.message for f in findings)
+
+    def test_leaked_scan_generator_fails_rl009(self, tree_copy):
+        # A scan generator bound to a name and dropped pins table readers
+        # and iterator state for the rest of the process.
+        path = tree_copy / "lsm" / "db.py"
+        path.write_text(
+            path.read_text(encoding="utf-8")
+            + "\n\ndef _debug_first(db):\n"
+            "    it = db.scan(None, None)\n"
+            "    return next(it)\n",
+            encoding="utf-8",
+        )
+        findings = findings_for(tree_copy.parent)
+        assert [f.rule for f in findings] == ["RL009"]
+        assert "never" in findings[0].message
+
+    def test_dropped_fork_join_region_fails_rl009(self, tree_copy):
+        # A region whose branches run but whose join() is deleted silently
+        # loses the branches' clock contributions.
+        mutate(
+            tree_copy / "mash" / "xwal.py",
+            "                collected.append((shard_ops, reader.tail_corrupt))\n"
+            "        region.join()\n",
+            "                collected.append((shard_ops, reader.tail_corrupt))\n",
+        )
+        findings = findings_for(tree_copy.parent)
+        assert [(f.rule, f.path.endswith("mash/xwal.py")) for f in findings] == [
+            ("RL009", True)
+        ]
+        assert "join" in findings[0].message
+
+    def test_stale_suppression_id_fails_rl010(self, tree_copy):
+        # A suppression naming a rule that does not exist suppresses
+        # nothing — usually a typo or a retired rule id.
+        mutate(
+            tree_copy / "bench" / "__main__.py",
+            "# reprolint: ignore[RL001] -- host-side progress report only",
+            "# reprolint: ignore[RL001, RL099] -- host-side progress report only",
+        )
+        findings = findings_for(tree_copy.parent)
+        assert [f.rule for f in findings] == ["RL010"]
+        assert "RL099" in findings[0].message

@@ -116,8 +116,8 @@ class TestBaselineFlow:
 
     def test_load_rejects_bad_documents(self, tmp_path):
         path = tmp_path / "b.json"
-        for bad in ('{"version": 2, "findings": {}}', '{"version": 1, "findings": []}',
-                    '{"version": 1, "findings": {"fp": 0}}'):
+        for bad in ('{"version": 3, "findings": {}}', '{"version": 2, "findings": []}',
+                    '{"version": 2, "findings": {"fp": 0}}'):
             path.write_text(bad, encoding="utf-8")
             with pytest.raises(CorruptionError):
                 load_baseline(path)
@@ -131,20 +131,53 @@ class TestBaselineFlow:
                     message="m", snippet="t = time.time()")
         assert a.fingerprint == b.fingerprint
         fresh, matched = apply_baseline([b], Counter({a.fingerprint: 1}))
-        assert fresh == [] and matched == 1
+        assert fresh == [] and matched == [b]
+
+    def test_fingerprint_survives_message_rewording(self):
+        # Version 2 drops the message from the basis: rewording a rule's
+        # diagnostics must not churn committed baselines.
+        a = Finding(rule="RL001", path="x.py", line=2, col=4,
+                    message="old wording", snippet="t = time.time()")
+        b = Finding(rule="RL001", path="x.py", line=2, col=4,
+                    message="new wording", snippet="t = time.time()")
+        assert a.fingerprint == b.fingerprint
+        assert a.fingerprint_v1 != b.fingerprint_v1
 
     def test_budget_is_consumed_per_occurrence(self, tmp_path):
         f = Finding(rule="RL001", path="p.py", line=1, col=0,
                     message="m", snippet="s")
         fresh, matched = apply_baseline([f, f, f], Counter({f.fingerprint: 2}))
-        assert matched == 2 and len(fresh) == 1
+        assert len(matched) == 2 and len(fresh) == 1
 
     def test_write_baseline_round_trips(self, tmp_path):
         f = Finding(rule="RL002", path="p.py", line=3, col=0,
                     message="m", snippet="s")
         path = tmp_path / "b.json"
         write_baseline(path, [f, f])
-        assert load_baseline(path) == Counter({f.fingerprint: 2})
+        loaded = load_baseline(path)
+        assert loaded.version == 2
+        assert loaded.counts == Counter({f.fingerprint: 2})
+
+    def test_version1_baseline_gates_and_migrates_in_place(self, tree, tmp_path):
+        # A version-1 file still grandfathers its findings (matched through
+        # the v1 fingerprint) and is rewritten as version 2 on first use.
+        from repro.lint import lint_paths
+
+        root = tree({"bench/x.py": DIRTY_SRC})
+        (finding,) = lint_paths([root])
+        baseline = tmp_path / "base.json"
+        baseline.write_text(
+            json.dumps(
+                {"version": 1, "findings": {finding.fingerprint_v1: 1}}
+            ),
+            encoding="utf-8",
+        )
+        assert main([str(root), "--baseline", str(baseline)]) == EXIT_CLEAN
+        doc = json.loads(baseline.read_text(encoding="utf-8"))
+        assert doc["version"] == 2
+        assert doc["findings"] == {finding.fingerprint: 1}
+        # The migrated file keeps gating.
+        assert main([str(root), "--baseline", str(baseline)]) == EXIT_CLEAN
 
 
 class TestReporters:
