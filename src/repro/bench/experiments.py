@@ -1522,6 +1522,221 @@ def e24_sorted_view(
     return table
 
 
+# --------------------------------------------------------------------------
+# E25 — workload-adaptive self-tuning
+# --------------------------------------------------------------------------
+
+
+def e25_adaptive_tuning(
+    records: int = 2600,
+    phase_ops: int = 700,
+    scan_ops: int = 600,
+    tuning_interval: int = 25,
+    filter_records: int = 8000,
+) -> Table:
+    """E25: the feedback controller vs static configs across phase shifts.
+
+    Three RocksMash instances replay the *identical* operation stream on a
+    cache-starved, cloud-heavy deployment (cloud_level=1): YCSB phases
+    A (update-heavy) → C (point reads) → E (short zipfian scans) →
+    S (long uniform scans, the E21 regime). The static configs are each
+    optimal somewhere and pathological elsewhere:
+
+    * ``static-point`` (prefetch 0, readahead 0) wins the zipfian phases —
+      for short scans every speculative byte is waste — but pays one
+      round trip per block on the long cold scans;
+    * ``static-scan`` (prefetch 2, readahead 128 KiB) wins phase S by a
+      wide margin and drags a ~10x penalty through phase E;
+    * ``adaptive`` starts from mediocre knobs (prefetch 0, readahead
+      32 KiB) and must *discover* both optima from observed scan
+      footprints and prefetch waste — and un-discover them at the next
+      phase boundary.
+
+    Adaptation must not change answers: per-phase outcome digests must be
+    identical across all three configs. The adaptive knob trajectory is
+    attached as ``knob_trajectory`` in the table extras (committed in the BENCH
+    artifact) so convergence — and the absence of oscillation — is
+    reviewable.
+
+    The second section isolates the Monkey filter allocation: uniform
+    10 bits/key vs a Monkey allocation at the *same* weighted
+    filter-memory budget over a three-level cloud-resident tree, probed
+    with absent keys inside every table's key range — each false positive
+    is a billable cloud GET.
+    """
+    import hashlib
+    import random
+
+    from repro.tune import monkey_allocation
+
+    table = Table(
+        "E25: adaptive tuning vs static configs across YCSB phase shifts (A-C-E-S)",
+        ["config", "phase", "elapsed_s", "Kops/s", "cloud_gets", "bloom_fp", "digest"],
+        notes=[
+            f"{records} records, {phase_ops} ops/phase (S: {scan_ops}), window",
+            f"{tuning_interval} ops, cloud_level=1, 8 KiB DRAM / 16 KiB pcache;",
+            "S = uniform scans, max length 800; static configs never move;",
+            "pointmiss: monkey vs uniform filters at equal weighted memory",
+        ],
+    )
+    common = dict(
+        cloud_level=1, pcache_budget_bytes=16 << 10, block_cache_bytes=8 << 10
+    )
+    configs = {
+        "adaptive": HarnessKnobs(
+            scan_prefetch_depth=0,
+            scan_readahead_bytes=32 << 10,
+            tuning_interval=tuning_interval,
+            **common,
+        ),
+        "static-scan": HarnessKnobs(
+            scan_prefetch_depth=2, scan_readahead_bytes=128 << 10, **common
+        ),
+        "static-point": HarnessKnobs(
+            scan_prefetch_depth=0, scan_readahead_bytes=0, **common
+        ),
+    }
+    phases = [
+        ("A", ycsb.WORKLOAD_A.scaled(records, phase_ops)),
+        ("C", ycsb.WORKLOAD_C.scaled(records, phase_ops)),
+        ("E", ycsb.WORKLOAD_E.scaled(records, phase_ops)),
+        (
+            "S",
+            replace(
+                ycsb.WORKLOAD_E.scaled(records, scan_ops),
+                request_distribution="uniform",
+                max_scan_length=800,
+            ),
+        ),
+    ]
+    for config_name, knobs in configs.items():
+        store = make_store("rocksmash", knobs)
+        ycsb.load_phase(store, phases[0][1], sync=False)
+        total_elapsed = 0.0
+        total_gets = 0
+        for phase_name, spec in phases:
+            start = store.clock.now
+            gets0 = store.counters.get("cloud.get_ops")
+            fp0 = store.db.bloom_stats["bloom_false_positive"]
+            hasher = hashlib.sha256()
+            for op in ycsb.iter_ops(spec, seed=25):
+                ycsb.outcome_digest_update(hasher, op, ycsb.apply_op(store, op))
+            elapsed = max(store.clock.now - start, 1e-9)
+            gets = store.counters.get("cloud.get_ops") - gets0
+            total_elapsed += elapsed
+            total_gets += gets
+            table.add_row(
+                config_name,
+                phase_name,
+                elapsed,
+                spec.operation_count / elapsed / 1e3,
+                gets,
+                store.db.bloom_stats["bloom_false_positive"] - fp0,
+                hasher.hexdigest()[:12],
+            )
+        table.add_row(
+            config_name, "total", total_elapsed, "-", total_gets, "-", "-"
+        )
+        if store.tuner is not None:
+            trajectory = [
+                {
+                    "op_index": d.op_index,
+                    "at_seconds": round(d.at_seconds, 6),
+                    "changed": list(d.changed),
+                    "knobs": dict(d.knobs),
+                }
+                for d in store.tuner.trajectory
+                if d.changed
+            ]
+            table.extra["knob_trajectory"] = trajectory
+            table.extra["final_knobs"] = store.tuner.knobs()
+            table.notes.append(
+                f"adaptive: {len(trajectory)} knob changes over "
+                f"{len(store.tuner.trajectory)} evaluations"
+            )
+        store.close()
+
+    # -- Monkey vs uniform filter allocation at the same memory budget ----
+    # The load must *overwrite in random order*: a sequential load produces
+    # non-overlapping flushes that trivially move to the bottom level still
+    # wearing their L0 filters, which silently inflates the filter memory
+    # and voids the comparison. Shuffled update rounds force real rewrites,
+    # so every resting table carries its own level's policy; a final
+    # uncompacted tail of recent writes leaves full-keyspace tables in the
+    # upper tree — the levels Monkey spends its saved bits on.
+    shape: list[int] = []
+    filter_memory: dict[str, int] = {}
+    for mode in ("uniform-10", "monkey-10"):
+        # Cache-starved like the phase section, so every false positive
+        # pays a cloud GET instead of hiding in a warm block cache.
+        store = make_store("rocksmash", HarnessKnobs(**common))
+        if mode == "monkey-10":
+            # Same data => same tree shape as the uniform run: compute the
+            # allocation from that shape *before* loading so every table
+            # is built under the per-level policy.
+            store.config.options.filter_allocation = monkey_allocation(
+                shape,
+                budget_bits_per_key=store.config.options.bloom_bits_per_key,
+                size_multiplier=store.config.options.level_size_multiplier,
+            )
+        rng = random.Random(25)
+        even_keys = [2 * i for i in range(filter_records)]
+        for round_no in range(3):
+            rng.shuffle(even_keys)
+            for i in even_keys:
+                store.put(make_key(i), make_value(i + round_no, 600), sync=False)
+        rng.shuffle(even_keys)
+        for i in even_keys[: filter_records // 10]:
+            store.put(make_key(i), make_value(i + 99, 600), sync=False)
+        store.flush()
+        if mode == "uniform-10":
+            summary = store.db.level_summary()
+            shape = [0] * (max(level for level, _, _ in summary) + 1)
+            for level, _files, nbytes in summary:
+                shape[level] = nbytes
+            table.notes.append(
+                "pointmiss tree (bytes/level): "
+                + "/".join(str(b) for b in shape)
+            )
+        else:
+            alloc = store.config.options.filter_allocation
+            assert alloc is not None
+            table.notes.append(f"monkey allocation: {alloc.describe()}")
+        # Point-miss phase: odd keys are absent but *inside* every table's
+        # key range, so each lookup runs the full filter gauntlet and any
+        # false positive pays a cloud block fetch.
+        fp0 = store.db.bloom_stats["bloom_false_positive"]
+        gets0 = store.counters.get("cloud.get_ops")
+        t0 = store.clock.now
+        for i in range(1, 2 * filter_records, 2):
+            store.get(make_key(i))
+        elapsed = max(store.clock.now - t0, 1e-9)
+        table.add_row(
+            mode,
+            "pointmiss",
+            elapsed,
+            filter_records / elapsed / 1e3,
+            store.counters.get("cloud.get_ops") - gets0,
+            store.db.bloom_stats["bloom_false_positive"] - fp0,
+            "-",
+        )
+        # Actual filter bytes across live tables (from the table footers):
+        # the honesty check that Monkey stays within the uniform budget.
+        version = store.db.versions.current
+        filter_memory[mode] = sum(
+            store.db.table_cache.get_reader(meta.number).footer.filter_handle.size
+            for level in range(store.db.options.num_levels)
+            for meta in version.files[level]
+        )
+        store.close()
+    table.extra["filter_memory"] = filter_memory
+    table.notes.append(
+        "live filter bytes: "
+        + ", ".join(f"{k}={v}" for k, v in filter_memory.items())
+    )
+    return table
+
+
 ALL_EXPERIMENTS = {
     "e1": e1_write_micro,
     "e2": e2_read_micro,
@@ -1549,4 +1764,5 @@ ALL_EXPERIMENTS = {
     "e22": e22_sharded_serving,
     "e23": e23_bloblog,
     "e24": e24_sorted_view,
+    "e25": e25_adaptive_tuning,
 }

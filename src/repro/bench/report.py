@@ -29,6 +29,9 @@ class Table:
     headers: list[str]
     rows: list[list[object]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    extra: dict[str, object] = field(default_factory=dict)
+    """Structured side-payloads beyond the row grid (e.g. a tuning knob
+    trajectory); merged into :meth:`to_dict` so artifacts carry them."""
 
     def add_row(self, *cells: object) -> None:
         self.rows.append(list(cells))
@@ -54,12 +57,14 @@ class Table:
 
     def to_dict(self) -> dict[str, object]:
         """JSON-friendly form (committed benchmark artifacts)."""
-        return {
+        payload: dict[str, object] = {
             "title": self.title,
             "headers": list(self.headers),
             "rows": [list(row) for row in self.rows],
             "notes": list(self.notes),
         }
+        payload.update(self.extra)
+        return payload
 
     def column(self, header: str) -> list[object]:
         """Extract one column by header name (for assertions in benches)."""

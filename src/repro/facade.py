@@ -13,7 +13,7 @@ breakdown (local/cloud/cpu seconds) that sums to its wall-clock elapsed time.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Callable, Iterator
 from contextlib import ExitStack, closing, contextmanager
 
 from repro.lsm.db import DB, Snapshot
@@ -49,6 +49,12 @@ class StoreFacade:
     def _init_facade(self, *, trace_capacity: int = 2048) -> None:
         self.read_latency = LatencyHistogram()
         self.write_latency = LatencyHistogram()
+        self.op_hook: Callable[[str, int], None] | None = None
+        """Called as ``op_hook(kind, nbytes)`` after every timed operation
+        (kind = facade method name, nbytes = written value bytes for write
+        kinds). The tuning controller (:mod:`repro.tune`) observes the
+        workload mix through this — it is *outside* the op's stopwatch, so
+        an evaluation's CPU charge lands between requests, not inside one."""
         self._request_clock: SimClock | None = None
         self.tracer = Tracer(self.clock, capacity=trace_capacity)
         for dev in (self.local_device, getattr(self, "cloud_store", None)):
@@ -89,25 +95,33 @@ class StoreFacade:
 
     # -- KV API -----------------------------------------------------------
 
+    def _note_op(self, kind: str, nbytes: int = 0) -> None:
+        if self.op_hook is not None:
+            self.op_hook(kind, nbytes)
+
     def put(self, key: bytes, value: bytes, *, sync: bool = True) -> None:
         with StopwatchRegion(self.op_clock) as sw, self.tracer.span("put"):
             self.db.put(key, value, sync=sync)
         self.write_latency.record(sw.elapsed)
+        self._note_op("put", len(value))
 
     def delete(self, key: bytes, *, sync: bool = True) -> None:
         with StopwatchRegion(self.op_clock) as sw, self.tracer.span("delete"):
             self.db.delete(key, sync=sync)
         self.write_latency.record(sw.elapsed)
+        self._note_op("delete")
 
     def write(self, batch: WriteBatch, *, sync: bool = True) -> None:
         with StopwatchRegion(self.op_clock) as sw, self.tracer.span("write"):
             self.db.write(batch, sync=sync)
         self.write_latency.record(sw.elapsed)
+        self._note_op("write", batch.byte_size())
 
     def get(self, key: bytes, *, snapshot: Snapshot | None = None) -> bytes | None:
         with StopwatchRegion(self.op_clock) as sw, self.tracer.span("get"):
             value = self.db.get(key, snapshot=snapshot)
         self.read_latency.record(sw.elapsed)
+        self._note_op("get")
         return value
 
     def multi_get(
@@ -117,6 +131,7 @@ class StoreFacade:
         with StopwatchRegion(self.op_clock) as sw, self.tracer.span("multi_get"):
             results = self.db.multi_get(keys, snapshot=snapshot)
         self.read_latency.record(sw.elapsed)
+        self._note_op("multi_get")
         return results
 
     def scan(
@@ -136,6 +151,7 @@ class StoreFacade:
                         break
                     results.append(kv)
         self.read_latency.record(sw.elapsed)
+        self._note_op("scan", sum(len(k) + len(v) for k, v in results))
         return results
 
     def scan_reverse(
@@ -153,6 +169,7 @@ class StoreFacade:
                         break
                     results.append(kv)
         self.read_latency.record(sw.elapsed)
+        self._note_op("scan_reverse", sum(len(k) + len(v) for k, v in results))
         return results
 
     def flush(self) -> None:

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 
 #: Package-relative directories that run purely on the simulated clock.
 #: RL002 (charge pairing) and RL005 (no real I/O) scope to these.
-SIM_SCOPES: tuple[str, ...] = ("lsm/", "mash/", "storage/", "sim/")
+SIM_SCOPES: tuple[str, ...] = ("lsm/", "mash/", "storage/", "sim/", "tune/")
 
 #: Modules allowed to do real I/O inside the simulated scopes: the
 #: directory-backed device is *deliberately* host-filesystem-backed (same

@@ -514,7 +514,13 @@ class CompactionJob:
             if builder is None:
                 builder_number = self.new_file_number()
                 name = table_file_name(self.prefix, builder_number)
-                builder = TableBuilder(self.options, self.env.new_writable_file(name))
+                # Outputs carry the *output level's* filter policy, so a
+                # per-level allocation migrates filters as tables rewrite.
+                builder = TableBuilder(
+                    self.options,
+                    self.env.new_writable_file(name),
+                    level=compaction.output_level,
+                )
             builder.add(ikey, value)
             if builder.estimated_size >= self.options.target_file_size_base:
                 finish_builder()

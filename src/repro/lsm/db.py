@@ -162,12 +162,23 @@ class DB:
         timeline, where it surfaces as queueing interference. Explicit
         :meth:`flush`/:meth:`ingest`/:meth:`compact_range` calls always
         run maintenance inline regardless of the hook."""
+        self.bloom_stats: dict[str, int] = {
+            "bloom_checked": 0,
+            "bloom_useful": 0,
+            "bloom_false_positive": 0,
+        }
+        """Store-wide bloom-probe outcomes, aggregated across every reader
+        (readers come and go with their files; this dict is the durable
+        tally). Mirrored as tracer events via ``block_fetch_hook`` and
+        exported through ``get_property("repro.bloom-stats")`` — the live
+        tuner reads it to judge the current filter allocation."""
         self.table_cache = TableCache(
             env,
             prefix,
             self.options,
             loader_wrapper=self._compose_loader_wrapper(),
             footer_source=footer_source,
+            filter_hook=self._on_filter_probe,
         )
         self.versions = VersionSet(env, prefix, self.options)
         self.memtable = MemTable()
@@ -679,19 +690,13 @@ class DB:
                 if parse_internal_key(ikey).user_key <= hi:
                     self._flush_memtable()
                 break
-        sequence = self.versions.last_sequence + 1
-        number = self.versions.new_file_number()
-        name = table_file_name(self.prefix, number)
-        builder = TableBuilder(self.options, self.env.new_writable_file(name))
-        for key, value in entries:
-            builder.add(make_internal_key(key, sequence, TYPE_VALUE), value)
-        props = builder.finish()
-        meta = FileMetaData(number, props.file_size, props.smallest_key, props.largest_key)
         # The ingested data carries the newest sequence, so it must sit
         # *above* (shallower than) any existing overlapping data — the read
         # path walks memtable, L0 (newest first), L1, ... and must find it
         # before older versions. Any overlapping memtable entries are
         # flushed first so L0 ordering by file number stays truthful.
+        # (Placed before the build so the table gets its target level's
+        # filter policy.)
         version = self.versions.current
         shallowest_overlap = None
         for level in range(self.options.num_levels):
@@ -704,6 +709,14 @@ class DB:
             target = 0  # L0 tolerates overlap; file number orders recency
         else:
             target = shallowest_overlap - 1
+        sequence = self.versions.last_sequence + 1
+        number = self.versions.new_file_number()
+        name = table_file_name(self.prefix, number)
+        builder = TableBuilder(self.options, self.env.new_writable_file(name), level=target)
+        for key, value in entries:
+            builder.add(make_internal_key(key, sequence, TYPE_VALUE), value)
+        props = builder.finish()
+        meta = FileMetaData(number, props.file_size, props.smallest_key, props.largest_key)
         edit = VersionEdit(last_sequence=sequence)
         edit.add_file(target, meta)
         self.versions.last_sequence = sequence
@@ -733,7 +746,7 @@ class DB:
             self.blob_store.on_flush_begin()
         number = self.versions.new_file_number()
         name = table_file_name(self.prefix, number)
-        builder = TableBuilder(self.options, self.env.new_writable_file(name))
+        builder = TableBuilder(self.options, self.env.new_writable_file(name), level=0)
         for ikey, value in self.memtable:
             builder.add(ikey, value)
         props = builder.finish()
@@ -928,6 +941,14 @@ class DB:
     def _notify_version_change(self) -> None:
         for hook in self.listeners.on_version_change:
             hook()
+
+    def _on_filter_probe(self, event: str) -> None:
+        """Aggregate a reader's bloom-probe outcome (see ``bloom_stats``)."""
+        self.bloom_stats[event] += 1
+        if self.block_fetch_hook is not None:
+            # Reuse the block-outcome channel so the store facade mirrors
+            # probe outcomes as tracer events without extra wiring.
+            self.block_fetch_hook(event, "")
 
     # -- read path ------------------------------------------------------------------------
 
@@ -1337,6 +1358,7 @@ class DB:
         * ``manifest-bytes`` — current MANIFEST size (int)
         * ``num-snapshots`` — live snapshots (int)
         * ``block-cache-hit-ratio`` — DRAM cache hit ratio (float)
+        * ``bloom-stats`` — bloom probe outcomes + live allocation (str)
         * ``blob-stats`` — blob value-log counters (str)
         * ``sorted-view-stats`` — global sorted view state + counters (str)
         * ``compaction-stats`` — human-readable summary (str)
@@ -1371,6 +1393,14 @@ class DB:
             return len(self._snapshots)
         if key == "block-cache-hit-ratio":
             return self.block_cache.hit_ratio if self.block_cache else 0.0
+        if key == "bloom-stats":
+            allocation = (
+                self.options.filter_allocation.describe()
+                if self.options.filter_allocation is not None
+                else f"uniform:{self.options.bloom_bits_per_key}"
+            )
+            counts = " ".join(f"{k}={v}" for k, v in self.bloom_stats.items())
+            return f"allocation={allocation} {counts}"
         if key == "blob-stats":
             if self.blob_store is None:
                 return "blob log disabled"
@@ -1410,6 +1440,7 @@ class DB:
                 f" snapshots={len(self._snapshots)}",
                 f"block_cache_hit_ratio="
                 f"{self.block_cache.hit_ratio if self.block_cache else 0.0:.4f}",
+                str(self.get_property("repro.bloom-stats")),
             ]
             return "\n".join(lines)
         raise InvalidArgumentError(f"unknown property {name!r}")

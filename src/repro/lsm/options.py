@@ -10,9 +10,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.lsm.filters import FilterAllocation
 from repro.util.bloom import BloomFilterPolicy
 
 NUM_LEVELS = 7
+
+#: The sentinel the ``filter_policy`` field defaults to. ``__post_init__``
+#: only synthesizes a policy from ``bloom_bits_per_key`` when the field
+#: still holds this default — an explicitly passed policy always wins.
+DEFAULT_FILTER_POLICY = BloomFilterPolicy(bits_per_key=10)
 
 
 @dataclass
@@ -149,8 +155,19 @@ class Options:
     """Verify block checksums on every read."""
 
     filter_policy: BloomFilterPolicy = field(
-        default_factory=lambda: BloomFilterPolicy(bits_per_key=10)
+        default_factory=lambda: DEFAULT_FILTER_POLICY
     )
+
+    filter_allocation: FilterAllocation | None = None
+    """Per-level bloom bits-per-key vector (Monkey-style allocation; see
+    :mod:`repro.lsm.filters`). When set it overrides the flat
+    ``bloom_bits_per_key``/``filter_policy`` pair at table-build time:
+    every flush/ingest/compaction resolves its output level's policy via
+    :meth:`table_filter_policy`, so filters migrate to the current
+    allocation as tables rewrite. ``None`` keeps the uniform behaviour.
+    The live tuner (:mod:`repro.tune`) updates this field between
+    operations; tables already on disk keep the filters they were built
+    with."""
 
     def __post_init__(self) -> None:
         if self.write_buffer_size <= 0:
@@ -183,8 +200,25 @@ class Options:
             raise ValueError("blob_segment_bytes must be positive")
         if not 0.0 < self.blob_gc_dead_ratio <= 1.0:
             raise ValueError("blob_gc_dead_ratio must be in (0, 1]")
-        if self.bloom_bits_per_key:
+        if self.bloom_bits_per_key and self.filter_policy == DEFAULT_FILTER_POLICY:
+            # Only synthesize from bloom_bits_per_key when the caller left
+            # filter_policy at its default; an explicit policy is kept.
             self.filter_policy = BloomFilterPolicy(bits_per_key=self.bloom_bits_per_key)
+
+    def table_filter_policy(self, level: int) -> BloomFilterPolicy | None:
+        """Effective filter policy for a table built at ``level``.
+
+        ``None`` disables the filter block for that table. This is *the*
+        resolution point for per-level allocations: flush (level 0),
+        ingest (target level), and compaction (output level) all route
+        through it, and it reads the live option fields at call time so a
+        tuner's updates apply to the next table built.
+        """
+        if self.filter_allocation is not None:
+            return self.filter_allocation.policy_for(level)
+        if self.bloom_bits_per_key <= 0:
+            return None
+        return self.filter_policy
 
     def max_bytes_for_level(self, level: int) -> float:
         """Size target for ``level`` (level 0 is count-triggered, not size)."""

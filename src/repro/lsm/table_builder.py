@@ -58,8 +58,10 @@ class TableProperties:
 class TableBuilder:
     """Builds one SSTable onto a writable file."""
 
-    def __init__(self, options: Options, file: WritableFile) -> None:
+    def __init__(self, options: Options, file: WritableFile, *, level: int = 0) -> None:
         self.options = options
+        self.level = level
+        self._filter_policy = options.table_filter_policy(level)
         self._file = file
         self._data_block = BlockBuilder(options.block_restart_interval)
         self._offset = 0
@@ -120,9 +122,9 @@ class TableBuilder:
         self._props.data_bytes += len(payload)
         self._data_block.reset()
         self._block_first_key = None
-        if self.options.filter_partitioning == "block" and self.options.bloom_bits_per_key > 0:
+        if self.options.filter_partitioning == "block" and self._filter_policy is not None:
             self._partition_filters.append(
-                self.options.filter_policy.create_filter(self._block_filter_keys)
+                self._filter_policy.create_filter(self._block_filter_keys)
             )
         self._block_filter_keys = []
 
@@ -135,12 +137,14 @@ class TableBuilder:
             raise InvalidArgumentError("cannot finish an empty table")
 
         # Filter block: whole-table bloom filter, or one per data block.
-        if self.options.bloom_bits_per_key <= 0:
+        # The policy was resolved for this table's level at construction
+        # (per-level allocations hand different levels different budgets).
+        if self._filter_policy is None:
             filter_payload = b""
         elif self.options.filter_partitioning == "block":
             filter_payload = encode_partitioned_filter(self._partition_filters)
         else:
-            filter_payload = bytes([FILTER_WHOLE_TABLE]) + self.options.filter_policy.create_filter(
+            filter_payload = bytes([FILTER_WHOLE_TABLE]) + self._filter_policy.create_filter(
                 self._filter_keys
             )
         filter_handle = self._write_raw_block(filter_payload)

@@ -30,12 +30,16 @@ class TableCache:
         *,
         loader_wrapper: LoaderWrapper | None = None,
         footer_source: Callable[[str], bytes | None] | None = None,
+        filter_hook: Callable[[str], None] | None = None,
     ) -> None:
         self.env = env
         self.prefix = prefix
         self.options = options
         self.loader_wrapper = loader_wrapper
         self.footer_source = footer_source
+        self.filter_hook = filter_hook
+        """Optional bloom-probe observer handed to every reader this cache
+        opens (see ``TableReader.filter_hook``)."""
         self._readers: dict[int, TableReader] = {}
         self._loaders: dict[int, tuple[str, BlockLoader]] = {}
 
@@ -51,7 +55,11 @@ class TableCache:
                 self.footer_source(name) if self.footer_source is not None else None
             )
             reader = TableReader(
-                self.options, file, block_loader=loader, footer_bytes=footer_bytes
+                self.options,
+                file,
+                block_loader=loader,
+                footer_bytes=footer_bytes,
+                filter_hook=self.filter_hook,
             )
             self._readers[number] = reader
         return reader

@@ -61,10 +61,26 @@ class TableReader:
         *,
         block_loader: BlockLoader | None = None,
         footer_bytes: bytes | None = None,
+        filter_hook: Callable[[str], None] | None = None,
     ) -> None:
         self.options = options
         self.file = file
         self.name = file.name
+        self.filter_stats: dict[str, int] = {
+            "checked": 0,
+            "useful": 0,
+            "false_positive": 0,
+        }
+        """Bloom-probe outcomes for this table's point lookups: ``checked``
+        counts lookups that consulted a filter, ``useful`` the ones the
+        filter rejected (a data-block fetch saved), ``false_positive`` the
+        ones the filter passed but the candidate block did not hold the
+        key (a wasted fetch — on a cloud-resident table, a wasted GET)."""
+        self.filter_hook = filter_hook
+        """Optional ``(event)`` observer mirroring ``filter_stats``
+        increments (``bloom_checked``/``bloom_useful``/
+        ``bloom_false_positive``); the DB wires it so probe outcomes
+        aggregate store-wide and surface as tracer events."""
         self._loader = block_loader or direct_block_loader(
             file, verify=options.paranoid_checks
         )
@@ -119,6 +135,11 @@ class TableReader:
 
     # -- lookups ---------------------------------------------------------
 
+    def _note_filter(self, outcome: str) -> None:
+        self.filter_stats[outcome] += 1
+        if self.filter_hook is not None:
+            self.filter_hook("bloom_" + outcome)
+
     def may_contain(self, user_key: bytes) -> bool:
         """Bloom-filter probe; False means the key is definitely absent.
 
@@ -148,21 +169,36 @@ class TableReader:
         key matches and whether it is a value or tombstone.
         """
         user_key = extract_user_key(target)
-        if not self.may_contain(user_key):
-            return None
+        probed = False
+        if self._filter is not None:
+            probed = True
+            self._note_filter("checked")
+            if not BloomFilterPolicy.key_may_match(user_key, self._filter):
+                self._note_filter("useful")
+                return None
         for index_key, handle_bytes in self._index.seek(target):
             handle, _ = decode_handle(handle_bytes)
+            if self._partitions is not None and not probed:
+                probed = True
+                self._note_filter("checked")
             if not self._partition_may_contain(user_key, handle):
                 # The candidate block definitely lacks the key; any entry it
                 # would return belongs to a different user key anyway.
+                self._note_filter("useful")
                 return None
             block = self._load_data_block(handle)
             for key, value in block.seek(target):
+                if probed and extract_user_key(key) != user_key:
+                    # The filter passed but the block holds no entry for
+                    # this user key: the data fetch was a bloom miss.
+                    self._note_filter("false_positive")
                 return key, value
             # Target sorts after every entry of this block (can happen when
             # target > block's last key only via index separator equality);
             # fall through to the next index entry.
             _ = index_key
+        if probed:
+            self._note_filter("false_positive")
         return None
 
     def get_at(self, target: bytes, handle: BlockHandle) -> tuple[bytes, bytes] | None:
@@ -174,12 +210,21 @@ class TableReader:
         bloom and partition probes still apply.
         """
         user_key = extract_user_key(target)
+        probed = self._filter is not None or self._partitions is not None
+        if probed:
+            self._note_filter("checked")
         if not self.may_contain(user_key):
+            self._note_filter("useful")
             return None
         if not self._partition_may_contain(user_key, handle):
+            self._note_filter("useful")
             return None
         for key, value in self._load_data_block(handle).seek(target):
+            if probed and extract_user_key(key) != user_key:
+                self._note_filter("false_positive")
             return key, value
+        if probed:
+            self._note_filter("false_positive")
         return None
 
     # -- iteration ----------------------------------------------------------

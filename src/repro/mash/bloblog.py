@@ -116,6 +116,8 @@ class BlobLog:
         self.segments_sealed = 0
         self.segments_deleted = 0
         self.gc_rewrites = 0
+        self.single_put_uploads = 0
+        self.multipart_uploads = 0
         self.resolves = 0
         self.resolve_pcache_hits = 0
 
@@ -227,7 +229,12 @@ class BlobLog:
 
     def _upload_and_record(self, number: int, name: str, data: bytes, dead: int) -> None:
         store = self.env.cloud.store
-        if len(data) > self.part_bytes:
+        if len(data) <= self.part_bytes:
+            # Small-segment fast path (ROADMAP item 1): one request, one
+            # PUT charge — never the multipart initiate/complete overhead.
+            store.put(name, data)
+            self.single_put_uploads += 1
+        else:
             for offset in range(0, len(data), self.part_bytes):
                 # crash-idempotent: recovery re-seals from the intact local
                 # copy; an abandoned multipart upload is invisible.
@@ -238,8 +245,7 @@ class BlobLog:
             # crash-idempotent: keyed by name; a recovery re-seal overwrites
             # the same object with identical bytes.
             store.complete_multipart(name, data)
-        else:
-            store.put(name, data)
+            self.multipart_uploads += 1
         self.env.note_tier(name, CLOUD)
         # Leave-behind: segment object visible in the cloud but absent from
         # the MANIFEST; recovery must adopt or discard it by reference count.
@@ -461,6 +467,8 @@ class BlobLog:
             "bytes_reclaimed": self.bytes_reclaimed,
             "segments_sealed": self.segments_sealed,
             "segments_deleted": self.segments_deleted,
+            "single_put_uploads": self.single_put_uploads,
+            "multipart_uploads": self.multipart_uploads,
             "gc_rewrites": self.gc_rewrites,
             "resolves": self.resolves,
             "resolve_pcache_hits": self.resolve_pcache_hits,

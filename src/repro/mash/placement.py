@@ -106,6 +106,8 @@ class PlacementManager:
         self.demotions = 0
         self.budget_demotions = 0
         self.promotions = 0
+        self.single_put_uploads = 0
+        self.multipart_uploads = 0
         db.listeners.on_flush.append(self._on_flush)
         db.listeners.on_compaction.append(self._on_compaction)
 
@@ -189,13 +191,17 @@ class PlacementManager:
         data = self.env.local.read_file(name)
         store = self.env.cloud.store
         part_bytes = self.config.multipart_part_bytes
-        if len(data) > part_bytes:
+        if len(data) <= part_bytes:
+            # Small-table fast path: exactly one PUT request, never the
+            # multipart initiate/complete overhead.
+            store.put(name, data)
+            self.single_put_uploads += 1
+        else:
             for offset in range(0, len(data), part_bytes):
                 store.upload_part(name, data[offset : offset + part_bytes])
                 crash_points.reach("demote.mid_upload")
             store.complete_multipart(name, data)
-        else:
-            store.put(name, data)
+            self.multipart_uploads += 1
         self.env.note_tier(name, CLOUD)
         crash_points.reach("demote.before_local_delete")
         self.env.local.delete_file(name)
@@ -297,4 +303,6 @@ class PlacementManager:
             "demotions": self.demotions,
             "budget_demotions": self.budget_demotions,
             "promotions": self.promotions,
+            "single_put_uploads": self.single_put_uploads,
+            "multipart_uploads": self.multipart_uploads,
         }

@@ -44,6 +44,7 @@ from repro.mash.placement import PlacementConfig, PlacementManager, make_router
 from repro.mash.prefetch import ScanPrefetcher
 from repro.mash.readahead import ReadaheadBuffer
 from repro.mash.xwal import XWalConfig, XWalReplayer, XWalWriter
+from repro.tune import TuningConfig, TuningController
 from repro.metrics.counters import CounterSet
 from repro.obs.trace import Tracer
 from repro.sim.clock import ForkJoinRegion, SimClock, StopwatchRegion
@@ -76,7 +77,22 @@ class StoreConfig:
     local_capacity_bytes: int | None = None
     scan_readahead_bytes: int = 128 << 10
     """Sequential readahead for cloud-resident tables (0 disables); see
-    :mod:`repro.mash.readahead`."""
+    :mod:`repro.mash.readahead`. Read at use time — the tuning controller
+    moves it live."""
+
+    scan_pipeline_enabled: bool = True
+    """Whether the per-scan prefetch pipeline hook is installed at all.
+    When True the pipeline activates whenever the *live* value of
+    ``Options.scan_prefetch_depth`` is positive — so the controller can
+    switch prefetch on and off at runtime. The serving layer sets this
+    False on its per-shard stores (shard-local pipelines fight the
+    router's fan-out branches)."""
+
+    tuning: TuningConfig | None = None
+    """Enable the workload-adaptive controller (:mod:`repro.tune`): the
+    store feeds it every facade op and it re-tunes filter allocation,
+    prefetch depth, readahead, compaction readahead/width, and the blob
+    threshold every ``tuning.interval_ops`` operations."""
 
     scan_prefetch_prime_bytes: int = 64 << 10
     """Bytes of each speculatively opened table fetched by its priming GET
@@ -284,7 +300,9 @@ class RocksMashStore(StoreFacade):
         self.last_recovery_seconds = sw.elapsed
         self.db.block_fetch_hook = self._on_block_fetch
         self.db.view_event_hook = self.tracer.event
-        if config.options.scan_prefetch_depth > 0:
+        if config.scan_pipeline_enabled:
+            # Installed unconditionally so the *live* depth knob governs
+            # each scan: the factory returns None while depth is 0.
             self.db.scan_pipeline_factory = self._make_scan_prefetcher
 
         # Event order matters: the heat tracker must see compaction outputs
@@ -315,6 +333,18 @@ class RocksMashStore(StoreFacade):
                     self.tracer.event("promotion")
 
             self.db.listeners.on_version_change.append(_maybe_promote)
+
+        self.tuner: TuningController | None = None
+        if config.tuning is not None:
+            self.tuner = TuningController(
+                db=self.db,
+                tracer=self.tracer,
+                clock=clock,
+                config=config.tuning,
+                read_knobs=config,
+                cloud_level=config.placement.cloud_level,
+            )
+            self.op_hook = self.tuner.record_op
 
     # -- construction -----------------------------------------------------
 
@@ -464,21 +494,26 @@ class RocksMashStore(StoreFacade):
                         results[key] = self.db.get(key, snapshot=snapshot)
                 region.join()
         self.read_latency.record(sw.elapsed)
+        self._note_op("multi_get")
         return results
 
     # -- pipelined scan prefetch ---------------------------------------------------
 
     def _make_scan_prefetcher(
         self, begin: bytes | None, end: bytes | None
-    ) -> ScanPrefetcher:
+    ) -> ScanPrefetcher | None:
         """Per-scan prefetch pipeline (``DB.scan_pipeline_factory`` hook).
 
         One :class:`ScanPrefetcher` per forward scan: seek fan-out of the
         initial reader opens, then up to ``scan_prefetch_depth`` cloud
         tables speculatively opened + primed ahead of the merge iterator
-        on forked child clocks (see :mod:`repro.mash.prefetch`).
+        on forked child clocks (see :mod:`repro.mash.prefetch`). Returns
+        None while the live depth knob is 0 (the controller may have
+        switched prefetch off for this phase of the workload).
         """
         del begin, end  # pruning happens in DB.scan; the pipeline sees files
+        if self.config.options.scan_prefetch_depth <= 0:
+            return None
         prefetcher = ScanPrefetcher(
             clock=self.op_clock,
             hosts=self.env.clock_hosts(),
@@ -507,13 +542,24 @@ class RocksMashStore(StoreFacade):
     def _pcache_loader_wrapper(
         self, name: str, file: RandomAccessFile, next_loader: BlockLoader
     ) -> BlockLoader:
-        readahead = None
-        if self.config.scan_readahead_bytes > 0:
-            readahead = ReadaheadBuffer(
-                file,
-                readahead_bytes=self.config.scan_readahead_bytes,
-                verify=self.config.options.paranoid_checks,
-            )
+        # The per-reader readahead buffer is built lazily against the
+        # *live* knob value, and rebuilt when the tuning controller moves
+        # it — so readahead can be switched on, resized, or switched off
+        # after the reader is already open.
+        readahead: ReadaheadBuffer | None = None
+
+        def current_readahead() -> ReadaheadBuffer | None:
+            nonlocal readahead
+            wanted = self.config.scan_readahead_bytes
+            if wanted <= 0:
+                readahead = None
+            elif readahead is None or readahead.readahead_bytes != wanted:
+                readahead = ReadaheadBuffer(
+                    file,
+                    readahead_bytes=wanted,
+                    verify=self.config.options.paranoid_checks,
+                )
+            return readahead
 
         def load(file_name: str, handle: BlockHandle, kind: str) -> bytes:
             if kind in ("index", "filter"):
@@ -544,13 +590,15 @@ class RocksMashStore(StoreFacade):
                     if payload is not None:
                         self.tracer.event("readahead_hit")
                         return payload
-                elif readahead is not None:
-                    payload = readahead.get(handle)
-                    if payload is not None:
-                        # Scan-resistant: readahead blocks skip pcache
-                        # admission.
-                        self.tracer.event("readahead_hit")
-                        return payload
+                else:
+                    buffer = current_readahead()
+                    if buffer is not None:
+                        payload = buffer.get(handle)
+                        if payload is not None:
+                            # Scan-resistant: readahead blocks skip pcache
+                            # admission.
+                            self.tracer.event("readahead_hit")
+                            return payload
             payload = next_loader(file_name, handle, kind)
             if self._is_cloud_file(file_name):
                 self.tracer.event("cloud_get")
@@ -691,6 +739,8 @@ class RocksMashStore(StoreFacade):
                     f"  {self.db.get_property('repro.blob-stats')}",
                 ]
             )
+        if self.tuner is not None:
+            lines.extend(["-- tuning --", f"  {self.tuner.describe()}"])
         return "\n".join(lines)
 
     def stats(self) -> dict:
@@ -709,4 +759,13 @@ class RocksMashStore(StoreFacade):
             "cloud_put_ops": self.counters.get("cloud.put_ops"),
             "read_p99": self.read_latency.percentile(99),
             "blob": self.db.blob_store.stats() if self.db.blob_store else None,
+            "tuning": (
+                {
+                    "evals": len(self.tuner.trajectory),
+                    "knobs": self.tuner.knobs(),
+                    "trajectory_digest": self.tuner.trajectory_digest(),
+                }
+                if self.tuner is not None
+                else None
+            ),
         }

@@ -167,15 +167,23 @@ class ShardedDB:
             self.clock, base.cloud_model, counters=self.counters
         )
         self.shards: list[RocksMashStore] = []
+        # Per-shard tuning controllers may run, but must never grow a
+        # shard-local prefetch pipeline: those fork from the *store-level*
+        # clock and would fight the router's own fan-out branches. The
+        # pipeline hook stays uninstalled and the depth knob untunable.
+        shard_tuning = (
+            replace(base.tuning, tune_prefetch_depth=False)
+            if base.tuning is not None
+            else None
+        )
         for index in range(self.num_shards):
-            # Scan-prefetch pipelines fork from the *store-level* clock and
-            # would fight the router's own fan-out branches; shards scan
-            # without them and the router provides the parallelism instead.
             shard_config = replace(
                 base,
                 db_prefix=f"db/s{index:02d}/",
                 options=replace(base.options, scan_prefetch_depth=0),
                 pcache=replace(base.pcache, prefix=f"pcache/s{index:02d}/"),
+                scan_pipeline_enabled=False,
+                tuning=shard_tuning,
             )
             self.shards.append(
                 RocksMashStore(
@@ -196,6 +204,12 @@ class ShardedDB:
         self.cloud_store.tracer = self.tracer
         for shard in self.shards:
             shard.tracer = self.tracer
+            if shard.tuner is not None:
+                # The tuner captured the shard's private tracer at
+                # construction; repoint it at the node tracer (where the
+                # shared devices now charge) and rebase its window deltas.
+                shard.tuner.tracer = self.tracer
+                shard.tuner._snapshot_baselines()
         self._pending: set[int] = set()
         if config.defer_maintenance:
             for index, shard in enumerate(self.shards):
@@ -290,18 +304,29 @@ class ShardedDB:
 
     # -- KV API (facade-compatible) ---------------------------------------
 
+    def _note_shard_op(self, index: int, kind: str, nbytes: int = 0) -> None:
+        """Feed a shard's tuning controller (ops here bypass the shard's
+        facade, so its ``op_hook`` never fires on its own)."""
+        tuner = self.shards[index].tuner
+        if tuner is not None:
+            tuner.record_op(kind, nbytes)
+
     def put(self, key: bytes, value: bytes, *, sync: bool = True) -> None:
-        shard = self.shards[self.router.shard_of(key)]
+        index = self.router.shard_of(key)
+        shard = self.shards[index]
         with StopwatchRegion(self.op_clock) as sw, self.tracer.span("put"):
             shard.db.put(key, value, sync=sync)
         self.write_latency.record(sw.elapsed)
+        self._note_shard_op(index, "put", len(value))
         self._drain_inline()
 
     def delete(self, key: bytes, *, sync: bool = True) -> None:
-        shard = self.shards[self.router.shard_of(key)]
+        index = self.router.shard_of(key)
+        shard = self.shards[index]
         with StopwatchRegion(self.op_clock) as sw, self.tracer.span("delete"):
             shard.db.delete(key, sync=sync)
         self.write_latency.record(sw.elapsed)
+        self._note_shard_op(index, "delete")
         self._drain_inline()
 
     def write(self, batch: WriteBatch, *, sync: bool = True) -> None:
@@ -332,13 +357,17 @@ class ShardedDB:
                         self.shards[index].db.write(groups[index], sync=sync)
                 region.join()
         self.write_latency.record(sw.elapsed)
+        for index in sorted(groups):
+            self._note_shard_op(index, "write", groups[index].byte_size())
         self._drain_inline()
 
     def get(self, key: bytes) -> bytes | None:
-        shard = self.shards[self.router.shard_of(key)]
+        index = self.router.shard_of(key)
+        shard = self.shards[index]
         with StopwatchRegion(self.op_clock) as sw, self.tracer.span("get"):
             value = shard.db.get(key)
         self.read_latency.record(sw.elapsed)
+        self._note_shard_op(index, "get")
         self._drain_inline()
         return value
 
@@ -355,6 +384,8 @@ class ShardedDB:
                     results.update(self.shards[index].db.multi_get(groups[index]))
             region.join()
         self.read_latency.record(sw.elapsed)
+        for index in sorted(groups):
+            self._note_shard_op(index, "multi_get")
         self._drain_inline()
         return {key: results[key] for key in keys}
 
@@ -389,6 +420,9 @@ class ShardedDB:
                 if limit is not None:
                     results = results[:limit]
         self.read_latency.record(sw.elapsed)
+        result_bytes = sum(len(k) + len(v) for k, v in results)
+        for index in touched:
+            self._note_shard_op(index, "scan", result_bytes // len(touched))
         self._drain_inline()
         return results
 
@@ -420,6 +454,9 @@ class ShardedDB:
                 if limit is not None:
                     results = results[:limit]
         self.read_latency.record(sw.elapsed)
+        result_bytes = sum(len(k) + len(v) for k, v in results)
+        for index in touched:
+            self._note_shard_op(index, "scan_reverse", result_bytes // len(touched))
         self._drain_inline()
         return results
 

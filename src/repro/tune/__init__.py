@@ -1,0 +1,21 @@
+"""Workload-adaptive self-tuning (ROADMAP item 2).
+
+``repro.tune`` closes the loop between the observability subsystem and the
+engine's tuning knobs: :func:`~repro.tune.allocation.monkey_allocation`
+computes a Monkey-style per-level bloom budget from observed level sizes,
+and :class:`~repro.tune.controller.TuningController` re-evaluates every N
+operations on the simulated clock, driving live knobs (filter allocation,
+scan prefetch depth, readahead, compaction readahead, subcompaction width,
+blob threshold) from the observed read/write/scan mix. Everything is
+deterministic — same op stream, same knob trajectory.
+"""
+
+from repro.tune.allocation import monkey_allocation
+from repro.tune.controller import TuningConfig, TuningController, TuningDecision
+
+__all__ = [
+    "TuningConfig",
+    "TuningController",
+    "TuningDecision",
+    "monkey_allocation",
+]

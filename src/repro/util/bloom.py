@@ -12,7 +12,17 @@ from dataclasses import dataclass
 
 
 def _bloom_hash(data: bytes, seed: int = 0xBC9F1D34) -> int:
-    """32-bit multiplicative hash (LevelDB's ``BloomHash``)."""
+    """32-bit multiplicative hash (LevelDB's ``BloomHash``), finalized.
+
+    The raw LevelDB hash leaves the trailing 1–3 bytes weakly mixed. For
+    dense integer-formatted keys (``user%010d``) differing only in the
+    final digits, both the probe start and the double-hashing delta stay
+    correlated across neighboring keys, and the measured false-positive
+    rate then swings wildly (0–15% at 13 bits/key) with the incidental
+    factorization of the filter's bit-array size. A murmur3 ``fmix32``
+    finalizer restores full avalanche for two extra multiplies; measured
+    rates then track the ``0.6185^bits`` theory at every size.
+    """
     m = 0xC6A4A793
     h = (seed ^ (len(data) * m)) & 0xFFFFFFFF
     i, n = 0, len(data)
@@ -31,6 +41,12 @@ def _bloom_hash(data: bytes, seed: int = 0xBC9F1D34) -> int:
         h = (h + data[i]) & 0xFFFFFFFF
         h = (h * m) & 0xFFFFFFFF
         h ^= h >> 24
+    # murmur3 fmix32: full avalanche over the 32-bit state.
+    h ^= h >> 16
+    h = (h * 0x85EBCA6B) & 0xFFFFFFFF
+    h ^= h >> 13
+    h = (h * 0xC2B2AE35) & 0xFFFFFFFF
+    h ^= h >> 16
     return h
 
 
